@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Each module in this directory regenerates one table or figure of the
+paper's evaluation (see DESIGN.md's per-experiment index).  Results are
+attached to the pytest-benchmark records via ``benchmark.extra_info`` so
+``--benchmark-json`` captures the paper-vs-measured comparison, and also
+printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import constants
+from repro.config.parameters import SimulationParameters
+from repro.solver import MomentTensorSource, Station, gaussian_stf
+
+
+def small_params(nex: int = 4, nproc: int = 1, **kw) -> SimulationParameters:
+    defaults = dict(
+        nex_xi=nex,
+        nproc_xi=nproc,
+        ner_crust_mantle=2,
+        ner_outer_core=1,
+        ner_inner_core=1,
+        nstep_override=10,
+    )
+    defaults.update(kw)
+    return SimulationParameters(**defaults)
+
+
+def demo_source() -> MomentTensorSource:
+    return MomentTensorSource(
+        position=(0.0, 0.0, constants.R_EARTH_KM - 150.0),
+        moment=1e20 * np.eye(3),
+        stf=gaussian_stf(15.0),
+        time_shift=20.0,
+    )
+
+
+def demo_stations() -> list[Station]:
+    r = constants.R_EARTH_KM
+    return [
+        Station("POLE", (0.0, 0.0, r)),
+        Station("D90", (r, 0.0, 0.0)),
+    ]
+
+
+@pytest.fixture
+def record(benchmark, capsys):
+    """Helper: stash a paper-vs-measured dict on the benchmark record."""
+
+    def _record(**info):
+        for key, value in info.items():
+            benchmark.extra_info[key] = value
+        with capsys.disabled():
+            print()
+            for key, value in info.items():
+                print(f"    {key} = {value}")
+
+    return _record

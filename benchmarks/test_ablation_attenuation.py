@@ -1,0 +1,75 @@
+"""A-ATTEN — Attenuation on/off (paper Section 6).
+
+Paper: "Attenuation ... resulted in a 1.8 increase in execution time but
+only an almost imperceptible drop in Tflops" — the memory-variable update
+is extra work, but it is flop-dense work, so the *rate* barely moves.
+"""
+
+import numpy as np
+
+from repro.kernels import timestep_flops
+from repro.mesh import build_global_mesh
+from repro.model.prem import RegionCode
+from repro.solver import GlobalSolver
+
+from conftest import demo_source, small_params
+
+N_STEPS = 12
+
+
+def run_once(mesh, params):
+    solver = GlobalSolver(mesh, params, sources=[demo_source()])
+    result = solver.run(n_steps=N_STEPS)
+    nspec_solid = sum(
+        mesh.regions[c].nspec
+        for c in (RegionCode.CRUST_MANTLE, RegionCode.INNER_CORE)
+    )
+    nspec_fluid = mesh.regions[RegionCode.OUTER_CORE].nspec
+    flops = N_STEPS * timestep_flops(
+        nspec_solid=nspec_solid,
+        nspec_fluid=nspec_fluid,
+        nglob_solid=sum(
+            mesh.regions[c].nglob
+            for c in (RegionCode.CRUST_MANTLE, RegionCode.INNER_CORE)
+        ),
+        nglob_fluid=mesh.regions[RegionCode.OUTER_CORE].nglob,
+        attenuation=params.attenuation,
+    )
+    return result.timings.compute_s, flops
+
+
+def test_attenuation_runtime_factor(benchmark, record):
+    params_off = small_params(nex=6, nstep_override=N_STEPS)
+    params_on = params_off.with_updates(attenuation=True)
+    mesh = build_global_mesh(params_off)
+
+    def run_pair():
+        # Interleave repetitions to cancel thermal/load drift.
+        t_off = t_on = 0.0
+        for _ in range(3):
+            t_off += run_once(mesh, params_off)[0]
+            t_on += run_once(mesh, params_on)[0]
+        return t_off / 3, t_on / 3
+
+    t_off, t_on = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    ratio = t_on / t_off
+
+    # Paper: 1.8x runtime. Python's constant factors differ; the claim that
+    # must hold is a substantial (tens of percent to ~2.5x) slowdown.
+    assert 1.15 < ratio < 3.0, f"attenuation runtime factor {ratio:.2f}"
+
+    # Flops-rate drop "almost imperceptible": the added work carries its
+    # own flops, so the rate changes far less than the runtime.
+    _, flops_off = run_once(mesh, params_off)
+    _, flops_on = run_once(mesh, params_on)
+    rate_off = flops_off / t_off
+    rate_on = flops_on / t_on
+    rate_change = abs(rate_on - rate_off) / rate_off
+    assert rate_change < 0.5
+
+    record(
+        runtime_factor=round(ratio, 2),
+        paper_runtime_factor=1.8,
+        flops_rate_change_pct=round(100 * rate_change, 1),
+        paper_flops_change="almost imperceptible",
+    )

@@ -1,0 +1,61 @@
+"""A-CUBE — Cutting the central cube in two (paper Section 1/4).
+
+Paper: among the scalability changes is the "reduction of the 'central
+cube' bottleneck by cutting the cube in two" — legacy SPECFEM assigned the
+whole cube at the centre of the inner core to the slices of one chunk,
+overloading them; splitting it between the two polar chunks halves the
+extra work on the worst-loaded ranks.
+"""
+
+import numpy as np
+
+from repro.cubed_sphere.topology import SliceGrid
+from repro.mesh import build_slice_mesh, load_balance_imbalance
+
+from conftest import small_params
+
+
+def _element_counts(params, split: bool) -> np.ndarray:
+    grid = SliceGrid(params.nproc_xi)
+    return np.array(
+        [
+            build_slice_mesh(
+                params, grid.address_of(r), split_central_cube=split
+            ).nspec_total
+            for r in range(grid.nproc_total)
+        ],
+        dtype=float,
+    )
+
+
+def test_central_cube_split_halves_imbalance(benchmark, record):
+    params = small_params(nex=8, nproc=1)
+
+    def run_both():
+        return (
+            _element_counts(params, split=False),
+            _element_counts(params, split=True),
+        )
+
+    legacy, split = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # Same total work either way.
+    assert legacy.sum() == split.sum()
+
+    imb_legacy = load_balance_imbalance(legacy)
+    imb_split = load_balance_imbalance(split)
+    # Splitting the cube moves half the extra elements to the antipodal
+    # chunk: the worst rank's overload halves.
+    extra_legacy = legacy.max() - np.median(legacy)
+    extra_split = split.max() - np.median(split)
+    assert extra_split == extra_legacy / 2
+    assert imb_split < imb_legacy
+
+    record(
+        elements_per_rank_legacy=[int(c) for c in legacy],
+        elements_per_rank_split=[int(c) for c in split],
+        imbalance_legacy=round(imb_legacy, 3),
+        imbalance_split=round(imb_split, 3),
+        paper="reduction of the central cube bottleneck by cutting the "
+              "cube in two",
+    )

@@ -1,0 +1,78 @@
+"""A-IO — Removing the mesher/solver I/O bottleneck (paper Section 4.1).
+
+Paper: the stable v4.0 wrote "up to 51 files per core" (3.2 million files
+at 62K cores) which the solver re-read from the shared filesystem; merging
+the two programs eliminated every intermediate byte.  The naive merge
+raised the memory high-water mark (mesher + solver arrays resident
+together), fixed by reusing the mesher's data structures in the solver.
+"""
+
+import numpy as np
+
+from repro.apps import run_global_simulation, run_legacy_two_program
+from repro.io import merged_mesh_to_solver
+
+from conftest import demo_source, demo_stations, small_params
+
+
+def test_legacy_vs_merged_io(benchmark, record, tmp_path):
+    params = small_params(nex=4, nstep_override=8)
+    source, stations = demo_source(), demo_stations()
+
+    def run_both():
+        legacy = run_legacy_two_program(
+            params, tmp_path / "db", sources=[source], stations=stations
+        )
+        merged = run_global_simulation(
+            params, sources=[source], stations=stations
+        )
+        return legacy, merged
+
+    legacy, merged = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # File counts: 51 per core written + 51 read back vs zero.
+    n_cores = 6
+    assert legacy.disk.files == 2 * 51 * n_cores
+    assert merged.disk.files == 0
+    assert merged.disk.bytes == 0
+    assert legacy.disk.bytes > 0
+
+    # Extrapolate the file count to the paper's 62K-core configuration.
+    files_at_62k = 51 * 62424
+    assert files_at_62k > 3.1e6  # "over 3.2 million files"
+
+    # Physics unchanged by the I/O path (to float32 storage precision).
+    scale = max(np.abs(merged.seismograms).max(), 1e-300)
+    np.testing.assert_allclose(
+        legacy.seismograms / scale, merged.seismograms / scale, atol=2e-3
+    )
+
+    record(
+        legacy_files=legacy.disk.files,
+        legacy_megabytes=round(legacy.disk.bytes / 1e6, 1),
+        legacy_io_wall_s=round(legacy.disk.wall_s, 3),
+        merged_files=merged.disk.files,
+        files_per_core=51,
+        extrapolated_files_at_62k_cores=files_at_62k,
+        paper="over 3.2 million files at ~62K cores; merged mode uses none",
+    )
+
+
+def test_merged_memory_high_water(benchmark, record):
+    """The merge's memory problem and its fix (Section 4.1)."""
+    params = small_params(nex=6)
+
+    def run_both():
+        naive = merged_mesh_to_solver(params, optimize_memory=False)
+        tuned = merged_mesh_to_solver(params, optimize_memory=True)
+        return naive, tuned
+
+    naive, tuned = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert naive.memory_overhead > tuned.memory_overhead
+    assert tuned.memory_overhead < 0.30
+    record(
+        naive_overhead_pct=round(100 * naive.memory_overhead, 1),
+        optimized_overhead_pct=round(100 * tuned.memory_overhead, 1),
+        paper="optimisations lowered the memory high water mark of the "
+              "merged application (reusing mesher data structures)",
+    )

@@ -1,0 +1,96 @@
+"""A-SSE — Kernel implementation shootout (paper Section 4.3).
+
+Paper: manual SSE/Altivec vector code gains 15-20% over the compiler's
+scalar loops; calling BLAS SGEMM per 5x5 matrix "actually significantly
+slows down the code" (call overhead + cutplane copies); the 125 -> 128
+padding costs 2.4% memory.
+
+Python analog: batched einsum (vector analog) vs per-element NumPy
+(scalar analog) vs per-cutplane np.dot (tiny-BLAS analog).  The ordering
+vector > scalar > tiny-BLAS is the reproduced result; the magnitudes are
+larger because interpreter dispatch dwarfs scalar-Fortran overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cartesian import build_box_mesh
+from repro.gll import GLLBasis
+from repro.kernels import (
+    compute_forces_elastic,
+    compute_geometry,
+    elastic_kernel_flops,
+    pad_elements,
+    padding_overhead,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = build_box_mesh((5, 5, 5))  # 125 elements
+    geom = compute_geometry(mesh.xyz)
+    basis = GLLBasis(5)
+    _, lam, mu = mesh.material_arrays()
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal((mesh.nspec, 5, 5, 5, 3))
+    return mesh, geom, basis, lam, mu, u
+
+
+@pytest.mark.parametrize("variant", ["vectorized", "baseline", "blas"])
+def test_kernel_variant_speed(benchmark, setup, variant):
+    mesh, geom, basis, lam, mu, u = setup
+    benchmark.group = "elastic-force-kernel"
+    out = benchmark(
+        compute_forces_elastic, u, geom, lam, mu, basis, variant
+    )
+    assert np.all(np.isfinite(out))
+    benchmark.extra_info["gflops"] = (
+        elastic_kernel_flops(mesh.nspec) / benchmark.stats["mean"] / 1e9
+    )
+
+
+def test_kernel_ordering_matches_paper(benchmark, setup):
+    """The reproduced claim: vector > scalar > tiny-BLAS, identical results."""
+    import time
+
+    mesh, geom, basis, lam, mu, u = setup
+
+    def time_variant(variant, repeats):
+        compute_forces_elastic(u, geom, lam, mu, basis, variant)  # warm-up
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            out = compute_forces_elastic(u, geom, lam, mu, basis, variant)
+        return (time.perf_counter() - t0) / repeats, out
+
+    def shootout():
+        t_vec, out_vec = time_variant("vectorized", 10)
+        t_base, out_base = time_variant("baseline", 3)
+        t_blas, out_blas = time_variant("blas", 1)
+        np.testing.assert_allclose(out_base, out_vec, atol=1e-12)
+        np.testing.assert_allclose(out_blas, out_vec, atol=1e-12)
+        return t_vec, t_base, t_blas
+
+    t_vec, t_base, t_blas = benchmark.pedantic(shootout, rounds=1, iterations=1)
+
+    assert t_vec < t_base, "vector analog must beat the scalar analog"
+    assert t_blas > t_base, (
+        "per-matrix BLAS calls must lose to plain loops (the paper's finding)"
+    )
+
+    benchmark.extra_info.update(
+        vector_gain_over_baseline_pct=round(100 * (t_base / t_vec - 1), 1),
+        paper_gain_pct="15-20",
+        blas_slowdown_vs_baseline=round(t_blas / t_base, 2),
+        paper_blas="significantly slows down the code",
+    )
+
+
+def test_padding_overhead(benchmark, setup):
+    """125 -> 128 alignment padding costs 2.4% memory (paper Section 4.3)."""
+    _, _, _, _, _, u = setup
+    padded = benchmark(pad_elements, u)
+    overhead = padded.nbytes / u.nbytes - 1.0
+    assert overhead == pytest.approx(0.024, abs=1e-3)
+    assert padding_overhead() == pytest.approx(128 / 125 - 1.0)
+    benchmark.extra_info["memory_overhead_pct"] = round(100 * overhead, 2)
+    benchmark.extra_info["paper_pct"] = 2.4

@@ -1,0 +1,101 @@
+"""FIG6 — Total communication time vs processor count (paper Figure 6).
+
+The paper runs IPM-instrumented jobs at P = 24..1536 for several
+resolutions on Franklin, fits a curve per resolution, and shows (a) total
+all-cores MPI time rising with P, (b) per-core MPI time falling with P.
+
+Reproduction in two layers, like the paper's own methodology:
+
+* *measured*: real virtual-cluster runs at P = 6 and 24 provide byte/
+  message counts that validate the analytic halo model;
+* *modeled*: the calibrated Franklin machine model generates the Figure-6
+  curves for res = 144 and 320 over the paper's processor range, and the
+  same functional fit the paper uses is applied.
+"""
+
+import numpy as np
+
+from repro.parallel import run_distributed_simulation
+from repro.perf import (
+    FRANKLIN,
+    analytic_total_comm_time,
+    fit_comm_times,
+    report_from_distributed,
+    slice_size_model,
+)
+
+from conftest import demo_source, small_params
+
+#: The paper's Figure-6 processor counts (24 .. 1536) and resolutions.
+PROCESSOR_COUNTS = np.array([24, 54, 96, 216, 384, 600, 864, 1536])
+RESOLUTIONS = (144, 320)
+N_STEPS_MODELED = 1000
+
+
+def test_fig6_measured_halo_traffic_matches_model(benchmark, record):
+    """Virtual-cluster byte counts validate the analytic halo volumes."""
+    params = small_params(nex=8, nproc=2)
+
+    def run():
+        return run_distributed_simulation(
+            params, sources=[demo_source()], n_steps=5
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = report_from_distributed(result)
+    size = slice_size_model(8, 2, ner_total=4)
+    # Model: bytes per rank per step (the solid 3-component exchange
+    # dominates); measured counts include mass-matrix setup exchanges, so
+    # agreement within a factor ~2 validates the model's scale.
+    modeled_bytes = size.halo_bytes_per_step(bytes_per_value=8) * 5 * 24
+    ratio = report.total_bytes / modeled_bytes
+    assert 0.3 < ratio < 3.0, (report.total_bytes, modeled_bytes)
+    record(
+        measured_total_bytes=report.total_bytes,
+        modeled_total_bytes=int(modeled_bytes),
+        measured_over_modeled=round(ratio, 2),
+        measured_messages=report.total_messages,
+    )
+
+
+def test_fig6_comm_time_curves(benchmark, record):
+    """Generate and fit the Figure-6 curves for res = 144 and 320."""
+
+    def build_curves():
+        curves = {}
+        for res in RESOLUTIONS:
+            totals = []
+            for p_total in PROCESSOR_COUNTS:
+                nproc_xi = int(round(np.sqrt(p_total / 6)))
+                out = analytic_total_comm_time(
+                    FRANKLIN, res, nproc_xi, N_STEPS_MODELED
+                )
+                totals.append(out["comm_s_total"])
+            curves[res] = np.asarray(totals)
+        return curves
+
+    curves = benchmark(build_curves)
+
+    for res in RESOLUTIONS:
+        totals = curves[res]
+        # Paper: total communication time rises with processor count...
+        assert np.all(np.diff(totals) > 0)
+        # ...while per-core time falls.
+        per_core = totals / PROCESSOR_COUNTS
+        assert np.all(np.diff(per_core) < 0)
+        # The fitted curve describes the model points well (the paper
+        # reports good fits for all resolutions).
+        fit = fit_comm_times(res, PROCESSOR_COUNTS, totals)
+        assert fit.rms_relative_error < 0.10
+
+    # Higher resolution communicates more at every processor count.
+    assert np.all(curves[320] > curves[144])
+    record(
+        processor_counts=[int(p) for p in PROCESSOR_COUNTS],
+        total_comm_s_res144=[round(float(t), 1) for t in curves[144]],
+        total_comm_s_res320=[round(float(t), 1) for t in curves[320]],
+        paper_observation=(
+            "total MPI time rises with P, per-core falls; res=320 curve "
+            "above res=144 (Figure 6)"
+        ),
+    )

@@ -1,0 +1,96 @@
+"""FIG7 — Total execution time vs resolution (paper Figure 7).
+
+The paper shows the all-cores execution time is set by the resolution
+alone (independent of P), grows ~quadratically with NEX, and that the
+fitted curve predicted a 12K-core NEX=1440 run within 12%.
+
+Here: real serial solver runs over an NEX series give measured times; the
+same power-law fit is applied; the normalised Figure-7 series and the
+hold-out prediction error (the paper's 12% check) are reported.
+"""
+
+import numpy as np
+
+from repro.mesh import build_global_mesh
+from repro.perf import fit_runtime_model, holdout_prediction_error
+from repro.solver import GlobalSolver
+
+from conftest import small_params
+
+RESOLUTIONS = np.array([4, 6, 8, 10])
+N_STEPS = 8
+
+
+def measure_total_time(nex: int) -> float:
+    params = small_params(nex=nex, nstep_override=N_STEPS)
+    mesh = build_global_mesh(params)
+    solver = GlobalSolver(mesh, params)
+    result = solver.run()
+    return result.timings.compute_s
+
+
+def test_fig7_runtime_vs_resolution(benchmark, record):
+    def run():
+        return np.array([measure_total_time(int(n)) for n in RESOLUTIONS])
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    fit = fit_runtime_model(RESOLUTIONS, times)
+
+    # Figure 7: time grows "significantly (quadratic)" with resolution.
+    # Shell work scales with NEX^2 (fixed radial layers) and the central
+    # cube adds a cubic term, so accept an exponent in the 1.6-3.2 band.
+    assert 1.6 < fit.exponent < 3.2, fit
+    assert fit.rms_relative_error < 0.25
+
+    # Hold-out check: fit on all but the largest resolution, predict it.
+    # The paper validated its 12K-core prediction within 12%; Python wall
+    # clocks are noisier, so the gate is 2x that.
+    err = holdout_prediction_error(RESOLUTIONS, times)
+    assert err < 0.25, f"holdout prediction error {err:.1%}"
+
+    normalized = times / times.min()
+    record(
+        resolutions=[int(x) for x in RESOLUTIONS],
+        measured_times_s=[round(float(t), 3) for t in times],
+        normalized_times=[round(float(t), 2) for t in normalized],
+        fitted_exponent=round(fit.exponent, 2),
+        holdout_error_pct=round(100 * err, 1),
+        paper_observation=(
+            "quadratic growth with resolution; NEX=1440 prediction within "
+            "12% (Figure 7)"
+        ),
+    )
+
+
+def test_fig7_total_time_independent_of_core_count(benchmark, record):
+    """Paper: 'the execution time per core decreases but the totaled
+    execution time for all cores is almost always the same'."""
+    from repro.parallel import run_distributed_simulation
+
+    params_serial = small_params(nex=8, nproc=1, nstep_override=5)
+    params_parallel = small_params(nex=8, nproc=2, nstep_override=5)
+
+    def run():
+        serial = run_distributed_simulation(params_serial, n_steps=5)
+        parallel = run_distributed_simulation(params_parallel, n_steps=5)
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    # CPU (thread) time, not wall time: with 24 virtual ranks time-sharing
+    # 2 host cores, wall clocks count scheduler wait; CPU time counts work.
+    total_serial = float(np.sum(serial.rank_compute_cpu_s))
+    total_parallel = float(np.sum(parallel.rank_compute_cpu_s))
+    # All-cores compute time is resolution-determined: 6 vs 24 ranks of the
+    # same mesh must total roughly the same work (smaller slices lose some
+    # NumPy batching efficiency, so a moderate rise is expected).
+    ratio = total_parallel / total_serial
+    assert 0.5 < ratio < 2.5, (total_serial, total_parallel)
+    record(
+        total_compute_s_6_ranks=round(total_serial, 2),
+        total_compute_s_24_ranks=round(total_parallel, 2),
+        ratio=round(ratio, 2),
+        paper_observation=(
+            "totaled execution time for all cores is independent of the "
+            "number of cores used"
+        ),
+    )

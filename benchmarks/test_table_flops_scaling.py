@@ -1,0 +1,53 @@
+"""T-FLOPSCALE — Sustained flops scale with processor count (Section 5).
+
+Paper: "the sustainable FLOPS rate for SPECFEM3D increases directly
+proportional to the number of processors it is run on and for the same
+number of processors slightly increases as the resolution increases."
+"""
+
+import numpy as np
+
+from repro.perf import FRANKLIN, predict_run, sustained_tflops
+
+
+def test_flops_proportional_to_processors(benchmark, record):
+    counts = np.array([1024, 4096, 12150, 19320])
+
+    def evaluate():
+        return np.array([sustained_tflops(FRANKLIN, int(p)) for p in counts])
+
+    tflops = benchmark(evaluate)
+    # Proportionality: Tflops / P constant.
+    per_core = tflops / counts
+    assert np.allclose(per_core, per_core[0], rtol=1e-12)
+    record(
+        cores=[int(p) for p in counts],
+        sustained_tflops=[round(float(t), 2) for t in tflops],
+        paper="FLOPS rate increases directly proportional to the number of "
+              "processors",
+    )
+
+
+def test_flops_rate_grows_slightly_with_resolution(benchmark, record):
+    """At fixed P, higher resolution -> more work per halo byte -> a
+    (slightly) smaller comm fraction -> a slightly higher sustained rate."""
+
+    def evaluate():
+        rates = {}
+        for nex in (576, 1152, 2304):
+            pred = predict_run(FRANKLIN, nex, 16)
+            rates[nex] = pred.sustained_tflops
+        return rates
+
+    rates = benchmark(evaluate)
+    values = [rates[n] for n in (576, 1152, 2304)]
+    assert values[0] < values[1] < values[2]
+    spread = values[-1] / values[0] - 1.0
+    assert spread < 0.15  # "slightly increases"
+    record(
+        resolutions=[576, 1152, 2304],
+        sustained_tflops=[round(v, 2) for v in values],
+        relative_increase_pct=round(100 * spread, 2),
+        paper="for the same number of processors [the rate] slightly "
+              "increases as the resolution increases",
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The Section-4.3 kernel experiment: scalar loops vs vectors vs tiny BLAS.
+
+Times the three implementations of the dominant internal-force routine on
+the same batch of elements:
+
+* ``baseline``   — element-at-a-time NumPy (the scalar "regular Fortran"
+  analog, paying per-element dispatch overhead);
+* ``vectorized`` — whole-batch tensor contractions (the SSE/Altivec analog);
+* ``blas``       — one tiny 5x5 ``np.dot`` per cutplane with alignment
+  copies (the "call SGEMM for every small matrix" strategy the paper
+  measured to be a net loss).
+
+Also reports the 125 -> 128 padding overhead (the paper's 2.4%).
+
+Run:  python examples/kernel_shootout.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.cartesian import build_box_mesh
+from repro.gll import GLLBasis
+from repro.kernels import (
+    compute_forces_elastic,
+    compute_geometry,
+    elastic_kernel_flops,
+    pad_elements,
+    padding_overhead,
+)
+
+
+def main() -> None:
+    mesh = build_box_mesh((6, 6, 6))  # 216 elements
+    geom = compute_geometry(mesh.xyz)
+    basis = GLLBasis(5)
+    rho, lam, mu = mesh.material_arrays()
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal((mesh.nspec, 5, 5, 5, 3))
+
+    timings = {}
+    repeats = {"vectorized": 20, "baseline": 3, "blas": 1}
+    reference = None
+    for variant, n in repeats.items():
+        compute_forces_elastic(u, geom, lam, mu, basis, variant=variant)  # warm
+        t0 = time.perf_counter()
+        for _ in range(n):
+            out = compute_forces_elastic(u, geom, lam, mu, basis, variant=variant)
+        timings[variant] = (time.perf_counter() - t0) / n
+        if reference is None:
+            reference = out
+        else:
+            assert np.allclose(out, reference, atol=1e-10), variant
+
+    flops = elastic_kernel_flops(mesh.nspec)
+    print(f"{mesh.nspec} elements, {flops / 1e6:.1f} Mflops per evaluation\n")
+    print(f"{'variant':>12} {'ms/call':>10} {'Gflop/s':>9} {'vs baseline':>12}")
+    base = timings["baseline"]
+    for variant, t in sorted(timings.items(), key=lambda kv: kv[1]):
+        print(f"{variant:>12} {1e3 * t:>10.2f} {flops / t / 1e9:>9.2f} "
+              f"{base / t:>11.2f}x")
+
+    print("\npaper: manual SSE/Altivec gains 15-20% over compiler loops;")
+    print("per-matrix BLAS calls are slower than plain loops. The Python")
+    print("analog shows the same ordering with larger gaps (interpreter")
+    print("dispatch costs far more than scalar Fortran).")
+
+    padded = pad_elements(u)
+    print(f"\npadded layout: {u.nbytes / 1e6:.1f} MB -> "
+          f"{padded.nbytes / 1e6:.1f} MB "
+          f"(+{100 * padding_overhead():.1f}%, paper: +2.4%)")
+
+
+if __name__ == "__main__":
+    main()

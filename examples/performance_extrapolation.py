@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Predict the paper's production runs from the performance models.
+
+Uses the machine descriptions of Ranger / Franklin / Kraken / Jaguar and
+the calibrated roofline + communication models to reproduce the paper's
+headline numbers: the Section-6 sustained-Tflops table, the Section-5
+12K/62K-core communication extrapolations, and the Section-7 estimate
+that a full 25-minute seismogram run is "a true petascale calculation"
+taking about a week on 32K+ cores.
+
+Run:  python examples/performance_extrapolation.py
+"""
+
+from repro.config import constants
+from repro.perf import (
+    FRANKLIN,
+    RANGER,
+    predict_run,
+    production_run_model,
+)
+
+
+def main() -> None:
+    print("=== Section 6 production runs: paper vs model ===")
+    print(f"{'machine':>9} {'cores':>7} {'paper TF':>9} {'model TF':>9} "
+          f"{'error':>7} {'period s':>9}")
+    for row in production_run_model():
+        period = row["shortest_period_s"]
+        print(f"{row['machine']:>9} {row['cores']:>7} "
+              f"{row['paper_tflops']:>9.1f} {row['model_tflops']:>9.1f} "
+              f"{100 * row['relative_error']:>+6.0f}% "
+              f"{period if period else '':>9}")
+
+    print("\n=== Section 5 extrapolations ===")
+    for label, machine, nex, nproc, paper in (
+        ("12K cores, NEX=1440", FRANKLIN, 1440, 45,
+         "paper: 7.3e6 s total comm, 599 s/core, 3.2%"),
+        ("62K cores, NEX=4848", RANGER, 4848, 102,
+         "paper: ~28K s/core comm, 4.7%"),
+    ):
+        pred = predict_run(machine, nex, nproc)
+        print(f"{label} on {machine.name}:")
+        print(f"  model: {pred.comm_s_total_all_cores:.2e} s total comm, "
+              f"{pred.comm_s_per_core:.0f} s/core, "
+              f"{100 * pred.comm_fraction:.1f}% of runtime")
+        print(f"  {paper}")
+        print(f"  memory/core {pred.memory_per_core_gb:.2f} GB "
+              f"(machine offers {machine.memory_per_core_gb} GB)")
+
+    print("\n=== Section 7: the petascale production run ===")
+    nex = constants.nex_for_shortest_period(1.2)
+    pred = predict_run(RANGER, nex, 73, record_length_s=25 * 60.0)
+    print(f"25 minutes of seismograms at NEX={nex} "
+          f"(~{pred.shortest_period_s:.1f} s period) on "
+          f"{pred.nproc_total} Ranger cores:")
+    print(f"  {pred.n_steps} time steps, "
+          f"{pred.wall_time_s / 86400:.1f} days of wall time "
+          f"(paper: 'about 1 week ... a true petascale calculation')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""One-shot reproduction summary of the paper's evaluation.
+
+Prints the model-level version of every figure/table of Carrington et al.
+(SC 2008) in about a minute.  The full measured versions (real meshes,
+real databases, real virtual-cluster runs) live in ``benchmarks/`` — this
+driver is the quick tour.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import numpy as np
+
+from repro.config import constants
+from repro.perf import (
+    FRANKLIN,
+    RANGER,
+    analytic_total_comm_time,
+    fit_comm_times,
+    fit_runtime_model,
+    predict_run,
+    production_run_model,
+    slice_size_model,
+)
+
+
+def fig5() -> None:
+    print("FIG 5 — mesher->solver disk space vs resolution")
+    # Bytes scale with the size model's point counts x the legacy writer's
+    # ~30 B/point across its 51 files.
+    nex = np.array([96, 144, 288, 320, 512, 640])
+    bytes_per_point = 30.0
+    totals = np.array([
+        slice_size_model(int(n), 1).total_points * bytes_per_point
+        for n in nex
+    ])
+    for n, b in zip(nex, totals):
+        period = constants.shortest_period_for_nex(int(n))
+        print(f"  res {n:4d} (~{period:5.1f} s): {b / 1e9:8.2f} GB")
+    from repro.io import fit_disk_model
+
+    model = fit_disk_model(nex, totals)
+    print(f"  fitted exponent {model.exponent:.2f}; "
+          f"2 s -> {model.predict_bytes_for_period(2.0) / 1e12:.1f} TB, "
+          f"1 s -> {model.predict_bytes_for_period(1.0) / 1e12:.1f} TB "
+          f"(paper: >14 TB and >108 TB)\n")
+
+
+def fig6() -> None:
+    print("FIG 6 — total communication time vs processor count (Franklin)")
+    counts = np.array([24, 54, 96, 216, 384, 600, 864, 1536])
+    for res in (144, 320):
+        totals = np.array([
+            analytic_total_comm_time(
+                FRANKLIN, res, max(int(round(np.sqrt(p / 6))), 1), 1000
+            )["comm_s_total"]
+            for p in counts
+        ])
+        fit = fit_comm_times(res, counts, totals)
+        print(f"  res {res}: total {totals[0]:7.1f} s @ P=24 -> "
+              f"{totals[-1]:7.1f} s @ P=1536 "
+              f"(fit rms {100 * fit.rms_relative_error:.1f}%)")
+    print("  per-core time falls with P; totals rise — Figure 6's shape\n")
+
+
+def fig7() -> None:
+    print("FIG 7 — total execution time vs resolution (normalized)")
+    res = np.array([96, 144, 288, 320, 512, 640])
+    # All-cores time per step ~ total elements (fixed radial layering, as
+    # in the paper's modeling runs): quadratic shell + cubic central cube.
+    t = np.array([
+        float(slice_size_model(int(n), 1, ner_total=7).total_elements)
+        for n in res
+    ])
+    fit = fit_runtime_model(res, t)
+    norm = fit.normalized(res)
+    print("  res:       " + "  ".join(f"{n:6d}" for n in res))
+    print("  normalized:" + "  ".join(f"{x:6.1f}" for x in norm))
+    print(f"  fitted exponent {fit.exponent:.2f} "
+          f"(paper: 'significantly (quadratic)')\n")
+
+
+def production_runs() -> None:
+    print("SECTION 6 — production runs (sustained Tflops)")
+    print(f"  {'machine':>9} {'cores':>7} {'paper':>6} {'model':>6} {'err':>6}")
+    for row in production_run_model():
+        print(f"  {row['machine']:>9} {row['cores']:>7} "
+              f"{row['paper_tflops']:>6.1f} {row['model_tflops']:>6.1f} "
+              f"{100 * row['relative_error']:>+5.0f}%")
+    print()
+
+
+def extrapolations() -> None:
+    print("SECTION 5 — extrapolations")
+    p12 = predict_run(FRANKLIN, 1440, 45)
+    p62 = predict_run(RANGER, 4848, 102)
+    print(f"  12K cores / NEX 1440: {p12.comm_s_total_all_cores:.1e} s total "
+          f"comm, {p12.comm_s_per_core:.0f} s/core, "
+          f"{100 * p12.comm_fraction:.1f}%  (paper: 7.3e6 s, 599 s, 3.2%)")
+    print(f"  62K cores / NEX 4848: {p62.comm_s_per_core:.0f} s/core, "
+          f"{100 * p62.comm_fraction:.1f}%  (paper: ~28000 s, 4.7%)")
+    week = predict_run(RANGER, 4352, 73, record_length_s=1500.0)
+    print(f"  25 min of seismograms on {week.nproc_total} cores: "
+          f"{week.wall_time_s / 86400:.1f} days (paper: 'about 1 week')\n")
+
+
+def barrier() -> None:
+    print("THE 2-SECOND BARRIER")
+    for period, machine, cores in ((1.94, "Jaguar", 29000),
+                                   (1.84, "Ranger", 32000)):
+        nex = constants.nex_for_shortest_period(period)
+        print(f"  {period} s @ {cores} {machine} cores needs NEX >= {nex} "
+              f"(barrier at NEX {constants.nex_for_shortest_period(2.0)})")
+    print()
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Carrington et al., SC 2008 — evaluation reproduction (model tour)")
+    print("=" * 70 + "\n")
+    fig5()
+    fig6()
+    fig7()
+    production_runs()
+    extrapolations()
+    barrier()
+    print("Measured versions of all of the above: "
+          "pytest benchmarks/ --benchmark-only -s")
+
+
+if __name__ == "__main__":
+    main()

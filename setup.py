@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517/660 editable installs fail; this legacy ``setup.py`` lets
+``pip install -e .`` fall back to ``setup.py develop``, which works offline.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Python reproduction of SPECFEM3D_GLOBE at scale "
+        "(Carrington et al., SC 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,51 @@
+"""repro — a Python reproduction of SPECFEM3D_GLOBE at scale.
+
+Reproduces "High-Frequency Simulations of Global Seismic Wave Propagation
+Using SPECFEM3D_GLOBE on 62K Processors" (Carrington et al., SC 2008):
+
+* a spectral-element solver for global seismic wave propagation on the
+  cubed sphere (:mod:`repro.mesh`, :mod:`repro.solver`, :mod:`repro.kernels`),
+* the performance-engineering substrates the paper studies — mesher/solver
+  I/O (:mod:`repro.io`), a virtual MPI layer (:mod:`repro.parallel`), and
+  the PMaC-style performance models (:mod:`repro.perf`).
+
+Quickstart::
+
+    from repro import SimulationParameters, run_global_simulation
+    params = SimulationParameters(nex_xi=8, nproc_xi=1)
+    result = run_global_simulation(params)
+    print(result.seismograms)
+"""
+
+from .config import (
+    ParameterError,
+    SimulationParameters,
+    nex_for_shortest_period,
+    params_for_period,
+    shortest_period_for_nex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParameterError",
+    "SimulationParameters",
+    "nex_for_shortest_period",
+    "params_for_period",
+    "shortest_period_for_nex",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` fast and avoid import cycles while
+    # still exposing the high-level drivers at the package root.
+    if name in ("run_global_simulation", "GlobalSimulationResult"):
+        from .apps import merged_app
+
+        return getattr(merged_app, name)
+    if name == "build_global_mesh":
+        from .mesh.mesher import build_global_mesh
+
+        return build_global_mesh
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,19 @@
+"""Adjoint methods: waveform misfits and sensitivity kernels."""
+
+from .kernels import (
+    ForwardRecord,
+    SensitivityKernels,
+    compute_kernels,
+    misfit_and_adjoint_source,
+    run_adjoint,
+    run_forward_with_recording,
+)
+
+__all__ = [
+    "ForwardRecord",
+    "SensitivityKernels",
+    "compute_kernels",
+    "misfit_and_adjoint_source",
+    "run_adjoint",
+    "run_forward_with_recording",
+]

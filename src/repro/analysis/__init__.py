@@ -1,0 +1,27 @@
+"""Seismogram analysis: misfits, spectra, energy diagnostics."""
+
+from .comparison import (
+    arrival_time,
+    relative_l2_misfit,
+    time_shift_crosscorrelation,
+    waveform_summary,
+)
+from .normal_modes import (
+    make_homogeneous,
+    measure_period_zero_crossings,
+    toroidal_characteristic,
+    toroidal_eigenfrequencies,
+    toroidal_mode_displacement,
+)
+
+__all__ = [
+    "arrival_time",
+    "relative_l2_misfit",
+    "time_shift_crosscorrelation",
+    "waveform_summary",
+    "make_homogeneous",
+    "measure_period_zero_crossings",
+    "toroidal_characteristic",
+    "toroidal_eigenfrequencies",
+    "toroidal_mode_displacement",
+]

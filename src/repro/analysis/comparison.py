@@ -1,0 +1,91 @@
+"""Seismogram comparison utilities.
+
+SPECFEM3D_GLOBE is validated against semi-analytical normal-mode
+seismograms (Section 3); this module provides the standard comparison
+metrics used for such validations: relative L2 waveform misfit,
+cross-correlation time shifts (phase/dispersion errors), and simple
+arrival-time picks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_l2_misfit",
+    "time_shift_crosscorrelation",
+    "arrival_time",
+    "waveform_summary",
+]
+
+
+def relative_l2_misfit(observed: np.ndarray, reference: np.ndarray) -> float:
+    """||obs - ref|| / ||ref|| over the whole trace (any shape)."""
+    observed = np.asarray(observed, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if observed.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: {observed.shape} vs {reference.shape}"
+        )
+    denom = np.linalg.norm(reference)
+    if denom == 0.0:
+        raise ValueError("reference trace is identically zero")
+    return float(np.linalg.norm(observed - reference) / denom)
+
+
+def time_shift_crosscorrelation(
+    observed: np.ndarray, reference: np.ndarray, dt: float
+) -> float:
+    """Best-aligning time shift (s) of ``observed`` relative to ``reference``.
+
+    Positive means the observed trace is late.  Full cross-correlation
+    over 1-D traces; sub-sample refinement by parabolic interpolation of
+    the correlation peak.
+    """
+    observed = np.asarray(observed, dtype=np.float64).ravel()
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    if observed.size != reference.size:
+        raise ValueError("traces must have equal length")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    corr = np.correlate(observed, reference, mode="full")
+    peak = int(np.argmax(corr))
+    lag = peak - (reference.size - 1)
+    # Parabolic sub-sample refinement where the peak is interior.
+    if 0 < peak < corr.size - 1:
+        c0, c1, c2 = corr[peak - 1], corr[peak], corr[peak + 1]
+        denom = c0 - 2 * c1 + c2
+        if abs(denom) > 1e-300:
+            lag += 0.5 * (c0 - c2) / denom
+    return float(lag * dt)
+
+
+def arrival_time(
+    trace: np.ndarray, dt: float, threshold: float = 0.05
+) -> float | None:
+    """First time the |amplitude| exceeds ``threshold`` x peak (STA-free pick).
+
+    Returns None for an all-zero trace.
+    """
+    trace = np.abs(np.asarray(trace, dtype=np.float64)).ravel()
+    peak = trace.max()
+    if peak == 0.0:
+        return None
+    idx = np.argmax(trace >= threshold * peak)
+    return float(idx * dt)
+
+
+def waveform_summary(trace: np.ndarray, dt: float) -> dict:
+    """Peak amplitude, RMS, dominant frequency, arrival pick of one trace."""
+    trace = np.asarray(trace, dtype=np.float64).ravel()
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    spectrum = np.abs(np.fft.rfft(trace - trace.mean()))
+    freqs = np.fft.rfftfreq(trace.size, dt)
+    dominant = float(freqs[np.argmax(spectrum)]) if spectrum.size else 0.0
+    return {
+        "peak": float(np.abs(trace).max()),
+        "rms": float(np.sqrt(np.mean(trace**2))),
+        "dominant_frequency_hz": dominant,
+        "arrival_s": arrival_time(trace, dt),
+    }

@@ -1,0 +1,150 @@
+"""Toroidal normal modes of a homogeneous elastic sphere — analytic oracle.
+
+Section 3 of the paper: SPECFEM3D_GLOBE "has been extensively benchmarked
+against semi-analytical normal-mode synthetic seismograms".  The cleanest
+self-contained analogue of that benchmark is the homogeneous solid sphere,
+whose toroidal free oscillations are fully analytic:
+
+* radial eigenfunction  W(r) = j_l(omega r / vs),
+* free-surface (zero traction) condition at r = R:
+      (l - 1) j_l(x) = x j_{l+1}(x),    x = omega R / vs,
+* displacement (degree l, order m = 0):
+      u = W(r) * dP_l(cos theta)/d theta * phi_hat.
+
+The test suite initialises the globe solver (with a homogeneous material
+override) with an analytic eigenmode and verifies that the SEM oscillates
+at the analytic eigenfrequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import brentq
+from scipy.special import spherical_jn
+
+__all__ = [
+    "toroidal_characteristic",
+    "toroidal_eigenfrequencies",
+    "toroidal_mode_displacement",
+    "make_homogeneous",
+    "measure_period_zero_crossings",
+]
+
+
+def toroidal_characteristic(l: int, x: np.ndarray | float):
+    """The secular function f(x) = (l-1) j_l(x) - x j_{l+1}(x)."""
+    if l < 2:
+        raise ValueError("toroidal modes need l >= 2 (l=1 is a rotation)")
+    x = np.asarray(x, dtype=np.float64)
+    return (l - 1) * spherical_jn(l, x) - x * spherical_jn(l + 1, x)
+
+
+def toroidal_eigenfrequencies(
+    l: int, vs_m_s: float, radius_m: float, n_modes: int = 3
+) -> np.ndarray:
+    """First ``n_modes`` angular eigenfrequencies (rad/s) of degree l.
+
+    Roots are bracketed by scanning the secular function and refined with
+    Brent's method; the n-th root is the overtone _nT_l.
+    """
+    if vs_m_s <= 0 or radius_m <= 0:
+        raise ValueError("speed and radius must be positive")
+    xs = np.linspace(1e-3, 40.0 + 6.0 * n_modes, 20000)
+    fs = toroidal_characteristic(l, xs)
+    roots: list[float] = []
+    for i in range(xs.size - 1):
+        if fs[i] == 0.0:
+            roots.append(float(xs[i]))
+        elif fs[i] * fs[i + 1] < 0:
+            roots.append(
+                float(brentq(lambda x: toroidal_characteristic(l, x),
+                             xs[i], xs[i + 1]))
+            )
+        if len(roots) >= n_modes:
+            break
+    if len(roots) < n_modes:
+        raise RuntimeError(f"found only {len(roots)} roots for l={l}")
+    return np.asarray(roots[:n_modes]) * vs_m_s / radius_m
+
+
+def toroidal_mode_displacement(
+    coords_km: np.ndarray, l: int, omega: float, vs_m_s: float
+) -> np.ndarray:
+    """Evaluate the (l, m=0) toroidal eigenmode at Cartesian points (km).
+
+    Returns unit-scaled displacement vectors (the mode amplitude is
+    arbitrary).  Currently l = 2 and l = 3 are supported (their Legendre
+    derivative is hard-coded; enough for validation).
+    """
+    coords = np.asarray(coords_km, dtype=np.float64) * 1000.0  # m
+    r = np.linalg.norm(coords, axis=-1)
+    r_safe = np.where(r > 0, r, 1.0)
+    cos_t = np.clip(coords[..., 2] / r_safe, -1.0, 1.0)
+    sin_t = np.sqrt(np.maximum(0.0, 1.0 - cos_t**2))
+    if l == 2:
+        dpl = -3.0 * cos_t * sin_t
+    elif l == 3:
+        # P3 = (5c^3 - 3c)/2 -> dP3/dtheta = -(15 c^2 - 3)/2 * sin
+        dpl = -0.5 * (15.0 * cos_t**2 - 3.0) * sin_t
+    else:
+        raise ValueError("only l = 2 and l = 3 eigenmodes are implemented")
+    w = spherical_jn(l, omega * r / vs_m_s)
+    # phi_hat = (-sin phi, cos phi, 0); sin/cos of phi from x, y.
+    rho_xy = np.sqrt(coords[..., 0] ** 2 + coords[..., 1] ** 2)
+    safe = np.where(rho_xy > 0, rho_xy, 1.0)
+    phi_hat = np.stack(
+        [-coords[..., 1] / safe, coords[..., 0] / safe,
+         np.zeros_like(rho_xy)],
+        axis=-1,
+    )
+    amplitude = np.where(rho_xy > 0, w * dpl, 0.0)
+    return amplitude[..., None] * phi_hat
+
+
+def make_homogeneous(
+    mesh_bundle, rho: float = 4500.0, vp: float = 6928.0, vs: float = 4000.0
+) -> None:
+    """Override a globe mesh's materials with a homogeneous solid.
+
+    Every region becomes the same solid (the outer core's fluid flag is
+    overridden), turning the mesh into the homogeneous sphere of the
+    normal-mode benchmark.  Modifies the meshes in place.
+    """
+    if vs <= 0 or vp <= vs or rho <= 0:
+        raise ValueError("need rho > 0 and vp > vs > 0 for a solid sphere")
+    mu = rho * vs**2
+    kappa = rho * vp**2 - 4.0 / 3.0 * mu
+    for rmesh in mesh_bundle.regions.values():
+        shape = rmesh.ibool.shape
+        rmesh.rho = np.full(shape, rho)
+        rmesh.mu = np.full(shape, mu)
+        rmesh.kappa = np.full(shape, kappa)
+        rmesh.q_mu = np.full(shape, 1.0e9)
+        rmesh.ti_moduli = None
+        rmesh.fluid_override = False
+
+
+def measure_period_zero_crossings(trace: np.ndarray, dt: float) -> float:
+    """Oscillation period from successive same-direction zero crossings.
+
+    Uses linear interpolation at sign changes and averages all available
+    full cycles; raises if fewer than three crossings exist.
+    """
+    trace = np.asarray(trace, dtype=np.float64).ravel()
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    signs = np.sign(trace)
+    crossings = []
+    for i in range(trace.size - 1):
+        if signs[i] != 0 and signs[i + 1] != 0 and signs[i] != signs[i + 1]:
+            # Linear interpolation of the crossing time.
+            frac = trace[i] / (trace[i] - trace[i + 1])
+            crossings.append((i + frac) * dt)
+    if len(crossings) < 3:
+        raise ValueError(
+            f"need >= 3 zero crossings to measure a period, got {len(crossings)}"
+        )
+    crossings = np.asarray(crossings)
+    # Alternating crossings are half-periods apart.
+    half_periods = np.diff(crossings)
+    return 2.0 * float(np.mean(half_periods))

@@ -1,0 +1,21 @@
+"""Cartesian validation problems: box meshes, solvers, analytic waves."""
+
+from .box import BoxMesh, build_box_mesh
+from .solver import CartesianAcousticSolver, CartesianElasticSolver
+from .waves import (
+    PlaneWave,
+    acoustic_standing_mode,
+    plane_p_wave,
+    plane_s_wave,
+)
+
+__all__ = [
+    "BoxMesh",
+    "build_box_mesh",
+    "CartesianAcousticSolver",
+    "CartesianElasticSolver",
+    "PlaneWave",
+    "acoustic_standing_mode",
+    "plane_p_wave",
+    "plane_s_wave",
+]

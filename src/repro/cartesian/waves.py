@@ -1,0 +1,108 @@
+"""Analytic wave solutions on the box — the validation oracles.
+
+* :func:`plane_s_wave` / :func:`plane_p_wave`: travelling plane waves for
+  the periodic box (exact solutions of the homogeneous elastodynamic
+  equations, used for convergence/dispersion measurement);
+* :func:`acoustic_standing_mode`: a cosine standing mode of the free-
+  boundary acoustic box (satisfies the natural boundary condition of the
+  weak form exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlaneWave", "plane_s_wave", "plane_p_wave", "acoustic_standing_mode"]
+
+
+@dataclass(frozen=True)
+class PlaneWave:
+    """u(x, t) = amplitude * polarization * sin(k . x - omega t)."""
+
+    wave_vector: np.ndarray
+    polarization: np.ndarray
+    speed: float
+    amplitude: float = 1e-6
+
+    @property
+    def omega(self) -> float:
+        return self.speed * float(np.linalg.norm(self.wave_vector))
+
+    def displacement(self, coords: np.ndarray, t: float) -> np.ndarray:
+        phase = coords @ self.wave_vector - self.omega * t
+        return self.amplitude * np.sin(phase)[:, None] * self.polarization
+
+    def velocity(self, coords: np.ndarray, t: float) -> np.ndarray:
+        phase = coords @ self.wave_vector - self.omega * t
+        return (
+            -self.amplitude
+            * self.omega
+            * np.cos(phase)[:, None]
+            * self.polarization
+        )
+
+
+def plane_s_wave(
+    lengths: tuple[float, float, float],
+    vs: float,
+    mode: int = 1,
+    amplitude: float = 1e-6,
+) -> PlaneWave:
+    """S wave travelling along x (periodic wavelength L/mode), polarised in z."""
+    if mode < 1:
+        raise ValueError("mode must be >= 1")
+    k = 2.0 * np.pi * mode / lengths[0]
+    return PlaneWave(
+        wave_vector=np.array([k, 0.0, 0.0]),
+        polarization=np.array([0.0, 0.0, 1.0]),
+        speed=vs,
+        amplitude=amplitude,
+    )
+
+
+def plane_p_wave(
+    lengths: tuple[float, float, float],
+    vp: float,
+    mode: int = 1,
+    amplitude: float = 1e-6,
+) -> PlaneWave:
+    """P wave travelling along x, polarised along x."""
+    if mode < 1:
+        raise ValueError("mode must be >= 1")
+    k = 2.0 * np.pi * mode / lengths[0]
+    return PlaneWave(
+        wave_vector=np.array([k, 0.0, 0.0]),
+        polarization=np.array([1.0, 0.0, 0.0]),
+        speed=vp,
+        amplitude=amplitude,
+    )
+
+
+def acoustic_standing_mode(
+    lengths: tuple[float, float, float],
+    vp: float,
+    modes: tuple[int, int, int] = (1, 0, 0),
+    amplitude: float = 1e-6,
+):
+    """Standing acoustic mode of a free-boundary box.
+
+    chi(x, t) = A cos(kx x) cos(ky y) cos(kz z) cos(omega t), with
+    omega = vp |k|.  Returns (chi_at(coords, t), omega).
+    """
+    k = np.array([np.pi * m / L for m, L in zip(modes, lengths)])
+    omega = vp * float(np.linalg.norm(k))
+    if omega == 0.0:
+        raise ValueError("at least one mode number must be non-zero")
+
+    def chi_at(coords: np.ndarray, t: float) -> np.ndarray:
+        return (
+            amplitude
+            * np.cos(k[0] * coords[:, 0])
+            * np.cos(k[1] * coords[:, 1])
+            * np.cos(k[2] * coords[:, 2])
+            * np.cos(omega * t)
+        )
+
+    return chi_at, omega

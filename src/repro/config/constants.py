@@ -1,0 +1,95 @@
+"""Physical and numerical constants shared across the package.
+
+Values follow SPECFEM3D_GLOBE conventions (``constants.h`` in the original
+Fortran code) and the PREM reference model of Dziewonski & Anderson (1981).
+All lengths are in kilometres unless a name says otherwise; the solver
+itself works in SPECFEM's non-dimensionalised units (lengths scaled by
+``R_EARTH``, densities by ``RHOAV``, times by ``1/sqrt(PI*G*RHOAV)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- Earth radii (km), PREM values -----------------------------------------
+R_EARTH_KM = 6371.0
+R_OCEAN_KM = 6368.0  # ocean floor in PREM
+R_MIDDLE_CRUST_KM = 6356.0
+R_MOHO_KM = 6346.6
+R_80_KM = 6291.0
+R_220_KM = 6151.0
+R_400_KM = 5971.0
+R_600_KM = 5771.0
+R_670_KM = 5701.0
+R_771_KM = 5600.0
+R_TOPDDOUBLEPRIME_KM = 3630.0
+R_CMB_KM = 3480.0  # core-mantle boundary
+R_ICB_KM = 1221.5  # inner-core boundary
+
+# --- Physical constants ------------------------------------------------------
+GRAV = 6.6723e-11  # gravitational constant, m^3 kg^-1 s^-2
+RHOAV = 5514.3  # Earth's average density, kg m^-3
+EARTH_MASS_KG = 5.972e24
+PI = math.pi
+TWO_PI = 2.0 * math.pi
+DEGREES_TO_RADIANS = math.pi / 180.0
+RADIANS_TO_DEGREES = 180.0 / math.pi
+
+#: Sidereal rotation rate of the Earth (rad/s), used by the Coriolis terms.
+EARTH_OMEGA = 7.292115e-5
+
+#: Sea water density (kg/m^3), used by the ocean-load approximation.
+RHO_OCEAN = 1020.0
+
+# --- Non-dimensionalisation (SPECFEM convention) ----------------------------
+R_EARTH_M = R_EARTH_KM * 1000.0
+#: One non-dimensional time unit in seconds.
+TIME_SCALE_S = 1.0 / math.sqrt(PI * GRAV * RHOAV)
+#: One non-dimensional velocity unit in m/s.
+VELOCITY_SCALE_M_S = R_EARTH_M / TIME_SCALE_S
+
+# --- Spectral-element discretisation -----------------------------------------
+#: Polynomial degree used throughout SPECFEM3D_GLOBE.
+NGLL_DEGREE = 4
+#: Number of GLL points per element edge (degree + 1).
+NGLLX = NGLL_DEGREE + 1
+NGLLY = NGLLX
+NGLLZ = NGLLX
+#: GLL points per element (5^3 = 125).
+NGLL3 = NGLLX * NGLLY * NGLLZ
+#: Padded element size used by the vector kernels (125 -> 128, +2.4% memory).
+NGLL3_PADDED = 128
+
+#: Number of chunks in the cubed sphere.
+NCHUNKS = 6
+
+#: Grid points per minimum wavelength required for accurate propagation.
+POINTS_PER_WAVELENGTH = 5.0
+
+#: Number of standard linear solids used to fit constant Q (attenuation).
+N_SLS = 3
+
+#: Courant number used for the stability estimate of the explicit scheme.
+COURANT_SUGGESTED = 0.4
+
+# --- Resolution <-> shortest period (paper's Figure 5 caption) --------------
+#: Figure 5 states ``Resolution = 256 * 17 / Wave Period``.
+RESOLUTION_PERIOD_PRODUCT = 256.0 * 17.0
+
+
+def shortest_period_for_nex(nex_xi: int) -> float:
+    """Shortest accurately-resolved seismic period (s) for a mesh resolution.
+
+    Inverts the paper's Figure-5 relation ``NEX_XI = 256*17 / period``.
+    E.g. NEX_XI = 4352 corresponds to a 1-second shortest period.
+    """
+    if nex_xi <= 0:
+        raise ValueError(f"NEX_XI must be positive, got {nex_xi}")
+    return RESOLUTION_PERIOD_PRODUCT / float(nex_xi)
+
+
+def nex_for_shortest_period(period_s: float) -> int:
+    """Mesh resolution NEX_XI needed to resolve a given shortest period (s)."""
+    if period_s <= 0:
+        raise ValueError(f"period must be positive, got {period_s}")
+    return int(math.ceil(RESOLUTION_PERIOD_PRODUCT / period_s))

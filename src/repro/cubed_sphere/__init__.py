@@ -1,0 +1,24 @@
+"""Cubed-sphere (gnomonic) mapping and the 6 * n^2 slice decomposition."""
+
+from .mapping import (
+    CHUNK_NAMES,
+    NCHUNKS,
+    angular_width,
+    chunk_point,
+    chunk_points,
+    chunk_rotation,
+    point_to_chunk,
+)
+from .topology import SliceAddress, SliceGrid
+
+__all__ = [
+    "CHUNK_NAMES",
+    "NCHUNKS",
+    "angular_width",
+    "chunk_point",
+    "chunk_points",
+    "chunk_rotation",
+    "point_to_chunk",
+    "SliceAddress",
+    "SliceGrid",
+]

@@ -1,0 +1,146 @@
+"""Gnomonic ("cubed sphere") mapping of the globe.
+
+The globe is split into six chunks by centrally projecting the faces of a
+cube onto the sphere (Sadourny 1972; Ronchi et al. 1996).  Each chunk is
+parameterised by two angular coordinates (xi, eta) in [-pi/4, pi/4]; the
+surface point in the chunk's local frame is the normalised direction
+``(tan(xi), tan(eta), 1)``, subsequently rotated into the chunk's
+orientation.  This is the exact mapping SPECFEM3D_GLOBE's mesher uses
+(Figure 4 of the paper).
+
+The equiangular variant used here gives nearly uniform element sizes
+across a chunk face, which is what makes the paper's load balance across
+``6 * NPROC_XI^2`` slices almost perfect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CHUNK_NAMES",
+    "NCHUNKS",
+    "chunk_rotation",
+    "chunk_point",
+    "chunk_points",
+    "point_to_chunk",
+    "angular_width",
+]
+
+NCHUNKS = 6
+
+#: SPECFEM-style chunk labels. AB is the +z ("top") chunk; AB_ANTIPODE -z;
+#: the four equatorial chunks follow the +x/+y/-x/-y cube faces.
+CHUNK_NAMES = ("AB", "BC", "AC", "AB_ANTIPODE", "BC_ANTIPODE", "AC_ANTIPODE")
+
+# Rotation matrices taking the reference (+z face) chunk frame into each
+# chunk's orientation: proper rotations (det = +1) sending the local +z
+# axis to the six cube-face normals. Exact half/quarter turns about the
+# coordinate axes keep all entries in {-1, 0, 1}.
+_CHUNK_ROTATIONS = {
+    # +z face (reference)
+    "AB": np.eye(3),
+    # +x face: quarter turn about y
+    "BC": np.array([[0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [-1.0, 0.0, 0.0]]),
+    # +y face: quarter turn about x (negative sense)
+    "AC": np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.0, -1.0, 0.0]]),
+    # -z face: half turn about x
+    "AB_ANTIPODE": np.array(
+        [[1.0, 0.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, -1.0]]
+    ),
+    # -x face: quarter turn about y (negative sense)
+    "BC_ANTIPODE": np.array(
+        [[0.0, 0.0, -1.0], [0.0, 1.0, 0.0], [1.0, 0.0, 0.0]]
+    ),
+    # -y face: quarter turn about x
+    "AC_ANTIPODE": np.array(
+        [[1.0, 0.0, 0.0], [0.0, 0.0, -1.0], [0.0, 1.0, 0.0]]
+    ),
+}
+for _name, _rot in _CHUNK_ROTATIONS.items():
+    _rot.setflags(write=False)
+
+
+def angular_width() -> float:
+    """Angular half-width of a chunk: pi/4 on each side of the face centre."""
+    return np.pi / 4.0
+
+
+def chunk_rotation(chunk: int | str) -> np.ndarray:
+    """Rotation matrix of a chunk, by index (0-5) or SPECFEM name."""
+    if isinstance(chunk, (int, np.integer)):
+        if not 0 <= int(chunk) < NCHUNKS:
+            raise ValueError(f"chunk index must be 0..5, got {chunk}")
+        name = CHUNK_NAMES[int(chunk)]
+    else:
+        name = str(chunk)
+        if name not in _CHUNK_ROTATIONS:
+            raise ValueError(f"unknown chunk {chunk!r}; valid: {CHUNK_NAMES}")
+    return _CHUNK_ROTATIONS[name]
+
+
+def chunk_point(
+    chunk: int | str, xi: float, eta: float, radius: float = 1.0
+) -> np.ndarray:
+    """Map one (xi, eta, radius) triple to a Cartesian point.
+
+    ``xi`` and ``eta`` are the equiangular chunk coordinates in
+    [-pi/4, pi/4]; ``radius`` the geocentric radius of the point.
+    """
+    return chunk_points(
+        chunk, np.asarray([xi]), np.asarray([eta]), np.asarray([radius])
+    )[0]
+
+
+def chunk_points(
+    chunk: int | str,
+    xi: np.ndarray,
+    eta: np.ndarray,
+    radius: np.ndarray | float = 1.0,
+) -> np.ndarray:
+    """Vectorised gnomonic mapping: arrays of (xi, eta, r) -> (n, 3) points.
+
+    All input arrays are broadcast together.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    eta = np.asarray(eta, dtype=np.float64)
+    radius = np.asarray(radius, dtype=np.float64)
+    limit = angular_width() + 1e-12
+    if np.any(np.abs(xi) > limit) or np.any(np.abs(eta) > limit):
+        raise ValueError("chunk coordinates must lie within [-pi/4, pi/4]")
+    if np.any(radius < 0):
+        raise ValueError("radius must be non-negative")
+    x = np.tan(xi)
+    y = np.tan(eta)
+    x, y, radius = np.broadcast_arrays(x, y, radius)
+    norm = np.sqrt(1.0 + x * x + y * y)
+    local = np.stack([x / norm, y / norm, 1.0 / norm], axis=-1)
+    rot = chunk_rotation(chunk)
+    return radius[..., None] * (local @ rot.T)
+
+
+def point_to_chunk(point: np.ndarray) -> tuple[int, float, float, float]:
+    """Inverse mapping: Cartesian point -> (chunk index, xi, eta, radius).
+
+    The owning chunk is the one whose face direction has the largest
+    projection onto the point; points exactly on chunk boundaries are
+    assigned to the lowest-index owning chunk deterministically.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    if point.shape != (3,):
+        raise ValueError(f"expected a 3-vector, got shape {point.shape}")
+    radius = float(np.linalg.norm(point))
+    if radius == 0.0:
+        raise ValueError("cannot assign the Earth's centre to a chunk")
+    direction = point / radius
+    best_chunk, best_proj = -1, -np.inf
+    for idx in range(NCHUNKS):
+        face_normal = chunk_rotation(idx)[:, 2]  # image of local +z
+        proj = float(np.dot(direction, face_normal))
+        if proj > best_proj + 1e-12:
+            best_chunk, best_proj = idx, proj
+    rot = chunk_rotation(best_chunk)
+    local = rot.T @ direction
+    xi = float(np.arctan2(local[0], local[2]))
+    eta = float(np.arctan2(local[1], local[2]))
+    return best_chunk, xi, eta, radius

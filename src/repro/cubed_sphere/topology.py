@@ -1,0 +1,146 @@
+"""Slice decomposition of the cubed sphere: the 6 * NPROC_XI^2 process grid.
+
+Each chunk face is split into ``nproc_xi x nproc_xi`` square *slices*; one
+MPI process owns exactly one slice (the full radial column underneath it),
+which is what gives SPECFEM3D_GLOBE its near-perfect static load balance.
+This module provides the rank <-> (chunk, iproc_xi, iproc_eta) addressing
+and each slice's angular extent, plus the within-chunk neighbour relation
+used by the analytic communication model.  Cross-chunk adjacency is
+established geometrically during global assembly (shared boundary points),
+so no hand-written chunk edge tables are needed for correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mapping import NCHUNKS, angular_width
+
+__all__ = ["SliceAddress", "SliceGrid"]
+
+
+@dataclass(frozen=True)
+class SliceAddress:
+    """Logical position of one mesh slice / MPI process."""
+
+    chunk: int
+    iproc_xi: int
+    iproc_eta: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.chunk < NCHUNKS:
+            raise ValueError(f"chunk must be 0..{NCHUNKS - 1}, got {self.chunk}")
+        if self.iproc_xi < 0 or self.iproc_eta < 0:
+            raise ValueError("slice indices must be non-negative")
+
+
+class SliceGrid:
+    """Addressing and geometry of the 6 * nproc_xi^2 slice decomposition."""
+
+    def __init__(self, nproc_xi: int):
+        if nproc_xi < 1:
+            raise ValueError(f"nproc_xi must be >= 1, got {nproc_xi}")
+        self.nproc_xi = int(nproc_xi)
+
+    @property
+    def nproc_total(self) -> int:
+        return NCHUNKS * self.nproc_xi**2
+
+    # -- Rank addressing ------------------------------------------------------
+
+    def rank_of(self, address: SliceAddress) -> int:
+        """Linear rank: chunks-major, then eta-major, then xi (SPECFEM order)."""
+        n = self.nproc_xi
+        if address.iproc_xi >= n or address.iproc_eta >= n:
+            raise ValueError(
+                f"slice index out of range for nproc_xi={n}: {address}"
+            )
+        return address.chunk * n * n + address.iproc_eta * n + address.iproc_xi
+
+    def address_of(self, rank: int) -> SliceAddress:
+        """Inverse of :meth:`rank_of`."""
+        n = self.nproc_xi
+        if not 0 <= rank < self.nproc_total:
+            raise ValueError(
+                f"rank must be 0..{self.nproc_total - 1}, got {rank}"
+            )
+        chunk, rem = divmod(rank, n * n)
+        ieta, ixi = divmod(rem, n)
+        return SliceAddress(chunk=chunk, iproc_xi=ixi, iproc_eta=ieta)
+
+    def all_addresses(self) -> list[SliceAddress]:
+        """All slices in rank order."""
+        return [self.address_of(r) for r in range(self.nproc_total)]
+
+    # -- Slice geometry ---------------------------------------------------------
+
+    def slice_angular_bounds(
+        self, address: SliceAddress
+    ) -> tuple[float, float, float, float]:
+        """(xi_min, xi_max, eta_min, eta_max) of a slice in chunk coordinates."""
+        half = angular_width()
+        width = 2.0 * half / self.nproc_xi
+        if address.iproc_xi >= self.nproc_xi or address.iproc_eta >= self.nproc_xi:
+            raise ValueError(
+                f"slice index out of range for nproc_xi={self.nproc_xi}: {address}"
+            )
+        xi_min = -half + address.iproc_xi * width
+        eta_min = -half + address.iproc_eta * width
+        return xi_min, xi_min + width, eta_min, eta_min + width
+
+    def slice_coordinates_1d(
+        self, address: SliceAddress, nex_per_slice: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Element-corner angular coordinates of a slice (xi and eta arrays).
+
+        Returns two arrays of length ``nex_per_slice + 1`` holding the
+        equiangular element boundaries inside the slice.
+        """
+        if nex_per_slice < 1:
+            raise ValueError("nex_per_slice must be >= 1")
+        xi_min, xi_max, eta_min, eta_max = self.slice_angular_bounds(address)
+        return (
+            np.linspace(xi_min, xi_max, nex_per_slice + 1),
+            np.linspace(eta_min, eta_max, nex_per_slice + 1),
+        )
+
+    # -- Within-chunk neighbour relation ---------------------------------------
+
+    def intra_chunk_neighbors(self, address: SliceAddress) -> dict[str, SliceAddress]:
+        """Face-adjacent slices of the same chunk, keyed by direction.
+
+        Directions: ``xi_minus``/``xi_plus``/``eta_minus``/``eta_plus``.
+        Slices on a chunk edge have fewer than four intra-chunk neighbours;
+        their remaining neighbours live on other chunks and are resolved
+        geometrically by the mesher's global assembly.
+        """
+        n = self.nproc_xi
+        out: dict[str, SliceAddress] = {}
+        if address.iproc_xi > 0:
+            out["xi_minus"] = SliceAddress(
+                address.chunk, address.iproc_xi - 1, address.iproc_eta
+            )
+        if address.iproc_xi < n - 1:
+            out["xi_plus"] = SliceAddress(
+                address.chunk, address.iproc_xi + 1, address.iproc_eta
+            )
+        if address.iproc_eta > 0:
+            out["eta_minus"] = SliceAddress(
+                address.chunk, address.iproc_xi, address.iproc_eta - 1
+            )
+        if address.iproc_eta < n - 1:
+            out["eta_plus"] = SliceAddress(
+                address.chunk, address.iproc_xi, address.iproc_eta + 1
+            )
+        return out
+
+    def boundary_slice_count(self) -> int:
+        """Number of slices touching at least one chunk edge (comm model input)."""
+        n = self.nproc_xi
+        interior = max(n - 2, 0) ** 2
+        return NCHUNKS * (n * n - interior)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SliceGrid(nproc_xi={self.nproc_xi}, total={self.nproc_total})"

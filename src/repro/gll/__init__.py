@@ -1,0 +1,29 @@
+"""Gauss-Lobatto-Legendre machinery: quadrature, Lagrange bases, interpolation."""
+
+from .interpolation import (
+    interpolate_at_point,
+    interpolation_weights_3d,
+    nearest_gll_index,
+)
+from .lagrange import (
+    GLLBasis,
+    derivative_matrix,
+    derivative_matrix_weighted,
+    lagrange_basis,
+    lagrange_basis_derivative,
+)
+from .quadrature import gll_points_and_weights, legendre, legendre_derivative
+
+__all__ = [
+    "GLLBasis",
+    "derivative_matrix",
+    "derivative_matrix_weighted",
+    "gll_points_and_weights",
+    "interpolate_at_point",
+    "interpolation_weights_3d",
+    "lagrange_basis",
+    "lagrange_basis_derivative",
+    "legendre",
+    "legendre_derivative",
+    "nearest_gll_index",
+]

@@ -1,0 +1,106 @@
+"""Gauss-Lobatto-Legendre (GLL) quadrature nodes and weights.
+
+The SEM represents fields on each element by Lagrange interpolants anchored
+at the GLL points, and integrates the weak form with the matching GLL rule.
+Collocating interpolation and quadrature points is what makes the mass
+matrix exactly diagonal (Section 2.4 of the paper).
+
+Nodes are the roots of ``(1 - x^2) P'_n(x)`` (always including the element
+boundaries -1 and +1); weights are ``2 / (n (n+1) P_n(x_i)^2)``.  The rule
+with ``n+1`` points integrates polynomials up to degree ``2n - 1`` exactly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "gll_points_and_weights",
+    "legendre",
+    "legendre_derivative",
+]
+
+
+def legendre(n: int, x: np.ndarray | float) -> np.ndarray | float:
+    """Evaluate the Legendre polynomial P_n at ``x`` via the Bonnet recurrence."""
+    if n < 0:
+        raise ValueError(f"degree must be non-negative, got {n}")
+    x = np.asarray(x, dtype=np.float64)
+    p_prev = np.ones_like(x)
+    if n == 0:
+        return p_prev
+    p = x.copy()
+    for k in range(1, n):
+        p, p_prev = ((2 * k + 1) * x * p - k * p_prev) / (k + 1), p
+    return p
+
+
+def legendre_derivative(n: int, x: np.ndarray | float) -> np.ndarray | float:
+    """Evaluate P'_n at ``x`` using the standard derivative identity.
+
+    At the endpoints x = +-1 the identity ``(1-x^2) P'_n = n (P_{n-1} - x P_n)``
+    degenerates; there the exact value ``P'_n(+-1) = (+-1)^{n-1} n(n+1)/2``
+    is substituted.
+    """
+    if n < 0:
+        raise ValueError(f"degree must be non-negative, got {n}")
+    x = np.asarray(x, dtype=np.float64)
+    if n == 0:
+        return np.zeros_like(x)
+    pn = legendre(n, x)
+    pnm1 = legendre(n - 1, x)
+    denom = 1.0 - x * x
+    interior = np.abs(denom) > 1e-14
+    out = np.empty_like(x)
+    out[interior] = (
+        n * (pnm1[interior] - x[interior] * pn[interior]) / denom[interior]
+    )
+    endpoint_value = 0.5 * n * (n + 1)
+    sign = np.where(x > 0, 1.0, np.where(n % 2 == 0, -1.0, 1.0))
+    out[~interior] = sign[~interior] * endpoint_value
+    return out
+
+
+def _legendre_second_derivative(n: int, x: np.ndarray) -> np.ndarray:
+    """P''_n on the open interval (-1, 1), from the Legendre ODE."""
+    pn = legendre(n, x)
+    dpn = legendre_derivative(n, x)
+    return (2.0 * x * dpn - n * (n + 1) * pn) / (1.0 - x * x)
+
+
+@lru_cache(maxsize=64)
+def gll_points_and_weights(ngll: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``ngll`` GLL nodes and weights on [-1, 1].
+
+    Nodes are computed by Newton iteration on P'_{n}(x) started from the
+    Chebyshev-Gauss-Lobatto points (an excellent initial guess), with the
+    endpoints fixed at exactly +-1.  Results are cached: the mesher and
+    solver request the same small rule (ngll = 5) millions of times.
+
+    Returns read-only arrays so cached values cannot be mutated in place.
+    """
+    if ngll < 2:
+        raise ValueError(f"need at least 2 GLL points, got {ngll}")
+    n = ngll - 1
+    # Chebyshev-Gauss-Lobatto initial guess.
+    x = -np.cos(np.pi * np.arange(ngll) / n)
+    if ngll > 2:
+        interior = x[1:-1].copy()
+        for _ in range(100):
+            f = legendre_derivative(n, interior)
+            fp = _legendre_second_derivative(n, interior)
+            step = f / fp
+            interior -= step
+            if np.max(np.abs(step)) < 1e-15:
+                break
+        x[1:-1] = interior
+    x[0], x[-1] = -1.0, 1.0
+    # Enforce the exact symmetry of the rule.
+    x = 0.5 * (x - x[::-1])
+    pn = legendre(n, x)
+    w = 2.0 / (n * (n + 1) * pn * pn)
+    x.setflags(write=False)
+    w.setflags(write=False)
+    return x, w

@@ -1,0 +1,43 @@
+"""I/O substrate: legacy mesh databases, merged handoff, disk model, Par_file."""
+
+from .diskmodel import DiskSpaceModel, fit_disk_model
+from .merged import MergedHandoff, merged_mesh_to_solver
+from .meshfiles import (
+    FILE_KINDS_PER_REGION,
+    DiskUsage,
+    database_summary,
+    read_slice_database,
+    rebuild_region_mesh,
+    write_slice_database,
+)
+from .parfile import format_par_file, parse_par_file, read_par_file, write_par_file
+from .seismograms import (
+    read_ascii_seismogram,
+    read_seismogram_bundle,
+    write_ascii_seismograms,
+    write_seismogram_bundle,
+)
+from .vtk import write_vtk_mesh, write_vtk_surface
+
+__all__ = [
+    "write_vtk_mesh",
+    "write_vtk_surface",
+    "read_ascii_seismogram",
+    "read_seismogram_bundle",
+    "write_ascii_seismograms",
+    "write_seismogram_bundle",
+    "DiskSpaceModel",
+    "fit_disk_model",
+    "MergedHandoff",
+    "merged_mesh_to_solver",
+    "FILE_KINDS_PER_REGION",
+    "DiskUsage",
+    "database_summary",
+    "read_slice_database",
+    "rebuild_region_mesh",
+    "write_slice_database",
+    "format_par_file",
+    "parse_par_file",
+    "read_par_file",
+    "write_par_file",
+]

@@ -1,0 +1,62 @@
+"""The Figure-5 disk-space regression model.
+
+The paper fits a simple regression of total mesher->solver disk usage
+against mesh resolution and extrapolates: ~14 TB of intermediate data for
+a 2-second simulation, ~108 TB for 1 second.  Here the same power-law
+model ``bytes = a * NEX^p`` is fitted (in log space) to measured database
+sizes from :mod:`repro.io.meshfiles`, and the same extrapolations are
+exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import constants
+
+__all__ = ["DiskSpaceModel", "fit_disk_model"]
+
+
+@dataclass(frozen=True)
+class DiskSpaceModel:
+    """Power law ``total_bytes(nex) = coefficient * nex ** exponent``."""
+
+    coefficient: float
+    exponent: float
+    residual_log10: float
+
+    def predict_bytes(self, nex: float | np.ndarray) -> float | np.ndarray:
+        nex = np.asarray(nex, dtype=np.float64)
+        out = self.coefficient * nex**self.exponent
+        return float(out) if out.ndim == 0 else out
+
+    def predict_bytes_for_period(self, period_s: float) -> float:
+        """Disk bytes needed for a target shortest period (Figure 5's axis)."""
+        return float(
+            self.predict_bytes(constants.nex_for_shortest_period(period_s))
+        )
+
+
+def fit_disk_model(
+    nex_values: np.ndarray, total_bytes: np.ndarray
+) -> DiskSpaceModel:
+    """Least-squares power-law fit in log10 space (the paper's regression)."""
+    nex_values = np.asarray(nex_values, dtype=np.float64)
+    total_bytes = np.asarray(total_bytes, dtype=np.float64)
+    if nex_values.size != total_bytes.size or nex_values.size < 2:
+        raise ValueError("need >= 2 matching (nex, bytes) samples")
+    if np.any(nex_values <= 0) or np.any(total_bytes <= 0):
+        raise ValueError("samples must be positive")
+    lx = np.log10(nex_values)
+    ly = np.log10(total_bytes)
+    design = np.stack([np.ones_like(lx), lx], axis=1)
+    coeffs, residuals, _, _ = np.linalg.lstsq(design, ly, rcond=None)
+    fitted = design @ coeffs
+    residual = float(np.sqrt(np.mean((ly - fitted) ** 2)))
+    return DiskSpaceModel(
+        coefficient=10.0 ** coeffs[0],
+        exponent=float(coeffs[1]),
+        residual_log10=residual,
+    )

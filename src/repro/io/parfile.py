@@ -1,0 +1,61 @@
+"""SPECFEM-style ``Par_file`` text serialisation of simulation parameters."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..config.parameters import ParameterError, SimulationParameters
+
+__all__ = ["write_par_file", "read_par_file", "format_par_file", "parse_par_file"]
+
+
+def format_par_file(params: SimulationParameters) -> str:
+    """Render parameters as SPECFEM-style ``KEY = value`` lines."""
+    lines = [
+        "# Par_file — repro (SPECFEM3D_GLOBE reproduction)",
+        "# simulation parameters",
+    ]
+    for key, value in params.to_dict().items():
+        if isinstance(value, bool):
+            rendered = ".true." if value else ".false."
+        elif value is None:
+            rendered = "none"
+        else:
+            rendered = str(value)
+        lines.append(f"{key:<24}= {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_par_file(text: str) -> SimulationParameters:
+    """Parse ``KEY = value`` lines back into parameters."""
+    raw: dict[str, object] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "=" not in stripped:
+            raise ParameterError(f"Par_file line {lineno}: missing '=': {line!r}")
+        key, _, value = stripped.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if value in (".true.", ".false."):
+            raw[key] = value == ".true."
+        elif value == "none":
+            raw[key] = None
+        else:
+            try:
+                raw[key] = int(value)
+            except ValueError:
+                try:
+                    raw[key] = float(value)
+                except ValueError:
+                    raw[key] = value
+    return SimulationParameters.from_dict(raw)
+
+
+def write_par_file(params: SimulationParameters, path: str | Path) -> None:
+    Path(path).write_text(format_par_file(params))
+
+
+def read_par_file(path: str | Path) -> SimulationParameters:
+    return parse_par_file(Path(path).read_text())

@@ -1,0 +1,83 @@
+"""Seismogram output in SPECFEM's conventions.
+
+SPECFEM3D_GLOBE writes one ASCII two-column file per station component
+(``NET.STA.MXZ.semd``: time, displacement) plus optional binary bundles.
+Both formats are provided, with exact round-trips, so downstream tooling
+(and the examples) can consume the synthetics the way SPECFEM users do.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..solver.receivers import ReceiverSet
+
+__all__ = [
+    "write_ascii_seismograms",
+    "read_ascii_seismogram",
+    "write_seismogram_bundle",
+    "read_seismogram_bundle",
+]
+
+#: SPECFEM component codes for the three Cartesian components.
+COMPONENT_CODES = ("MXX", "MXY", "MXZ")
+
+
+def write_ascii_seismograms(
+    receivers: ReceiverSet, directory: str | Path, network: str = "RP"
+) -> list[Path]:
+    """Write one ``.semd`` two-column ASCII file per station component."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    times = receivers.times
+    written: list[Path] = []
+    for r, rec in enumerate(receivers.receivers):
+        for c, code in enumerate(COMPONENT_CODES):
+            path = directory / f"{network}.{rec.station.name}.{code}.semd"
+            data = np.column_stack([times, receivers.data[r, :, c]])
+            np.savetxt(path, data, fmt="%.9e")
+            written.append(path)
+    return written
+
+
+def read_ascii_seismogram(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read a ``.semd`` file back: (times, values)."""
+    data = np.loadtxt(path)
+    if data.ndim != 2 or data.shape[1] != 2:
+        raise ValueError(f"{path} is not a two-column seismogram file")
+    return data[:, 0], data[:, 1]
+
+
+def write_seismogram_bundle(
+    receivers: ReceiverSet, path: str | Path
+) -> Path:
+    """Write all stations to one compressed NPZ bundle."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = np.asarray([r.station.name for r in receivers.receivers])
+    positions = np.asarray(
+        [r.station.position for r in receivers.receivers], dtype=np.float64
+    )
+    np.savez_compressed(
+        path,
+        names=names,
+        positions=positions,
+        dt=np.asarray(receivers.dt),
+        data=receivers.data,
+    )
+    return path
+
+
+def read_seismogram_bundle(path: str | Path) -> dict:
+    """Read a bundle back: dict with names, positions, dt, data, times."""
+    with np.load(path, allow_pickle=False) as f:
+        out = {
+            "names": [str(n) for n in f["names"]],
+            "positions": f["positions"],
+            "dt": float(f["dt"]),
+            "data": f["data"],
+        }
+    out["times"] = np.arange(out["data"].shape[1]) * out["dt"]
+    return out

@@ -1,0 +1,141 @@
+"""Legacy-ASCII VTK export of meshes and wavefields (no dependencies).
+
+SPECFEM3D_GLOBE ships movie/snapshot tools whose output feeds ParaView;
+this module provides the equivalent for this reproduction: an unstructured
+-grid export of any region mesh (elements as their 8 corner hexahedra,
+optionally subdivided per GLL cell) with point data fields — enough to
+inspect meshes, material models, and wavefield snapshots visually.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..mesh.element import RegionMesh
+
+__all__ = ["write_vtk_mesh", "write_vtk_surface"]
+
+_VTK_HEXAHEDRON = 12
+_VTK_QUAD = 9
+
+
+def _subcell_corners(n: int) -> list[tuple[int, int, int]]:
+    return [(i, j, k) for i in range(n - 1) for j in range(n - 1)
+            for k in range(n - 1)]
+
+
+def write_vtk_mesh(
+    mesh: RegionMesh,
+    path: str | Path,
+    point_data: dict[str, np.ndarray] | None = None,
+    subdivide: bool = True,
+) -> Path:
+    """Write a region mesh as a VTK legacy unstructured grid.
+
+    ``point_data`` maps field names to global arrays of shape (nglob,) or
+    (nglob, 3).  With ``subdivide`` every (n-1)^3 GLL sub-cell becomes one
+    hexahedron (full resolution); otherwise one hexahedron per element.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    coords = mesh.global_coordinates()
+    n = mesh.ngll
+    cells: list[list[int]] = []
+    if subdivide:
+        sub = _subcell_corners(n)
+        for e in range(mesh.nspec):
+            ib = mesh.ibool[e]
+            for (i, j, k) in sub:
+                cells.append([
+                    int(ib[i, j, k]), int(ib[i + 1, j, k]),
+                    int(ib[i + 1, j + 1, k]), int(ib[i, j + 1, k]),
+                    int(ib[i, j, k + 1]), int(ib[i + 1, j, k + 1]),
+                    int(ib[i + 1, j + 1, k + 1]), int(ib[i, j + 1, k + 1]),
+                ])
+    else:
+        last = n - 1
+        for e in range(mesh.nspec):
+            ib = mesh.ibool[e]
+            cells.append([
+                int(ib[0, 0, 0]), int(ib[last, 0, 0]),
+                int(ib[last, last, 0]), int(ib[0, last, 0]),
+                int(ib[0, 0, last]), int(ib[last, 0, last]),
+                int(ib[last, last, last]), int(ib[0, last, last]),
+            ])
+    with open(path, "w") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write("repro mesh export\nASCII\nDATASET UNSTRUCTURED_GRID\n")
+        fh.write(f"POINTS {coords.shape[0]} double\n")
+        np.savetxt(fh, coords, fmt="%.9e")
+        fh.write(f"CELLS {len(cells)} {9 * len(cells)}\n")
+        for cell in cells:
+            fh.write("8 " + " ".join(map(str, cell)) + "\n")
+        fh.write(f"CELL_TYPES {len(cells)}\n")
+        fh.write("\n".join([str(_VTK_HEXAHEDRON)] * len(cells)) + "\n")
+        if point_data:
+            fh.write(f"POINT_DATA {coords.shape[0]}\n")
+            for name, values in point_data.items():
+                values = np.asarray(values)
+                if values.shape[0] != coords.shape[0]:
+                    raise ValueError(
+                        f"field {name!r} has {values.shape[0]} values for "
+                        f"{coords.shape[0]} points"
+                    )
+                if values.ndim == 1:
+                    fh.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                    np.savetxt(fh, values, fmt="%.9e")
+                elif values.ndim == 2 and values.shape[1] == 3:
+                    fh.write(f"VECTORS {name} double\n")
+                    np.savetxt(fh, values, fmt="%.9e")
+                else:
+                    raise ValueError(
+                        f"field {name!r} must be (nglob,) or (nglob, 3)"
+                    )
+    return path
+
+
+def write_vtk_surface(
+    mesh: RegionMesh,
+    faces: list[tuple[int, int]],
+    path: str | Path,
+    point_data: dict[str, np.ndarray] | None = None,
+) -> Path:
+    """Write a set of element faces (e.g. the free surface) as VTK quads."""
+    from ..mesh.interfaces import FACE_SLICES
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    coords = mesh.global_coordinates()
+    n = mesh.ngll
+    quads: list[list[int]] = []
+    for ispec, face_id in faces:
+        ib = mesh.ibool[(ispec, *FACE_SLICES[face_id])]
+        for u in range(n - 1):
+            for v in range(n - 1):
+                quads.append([
+                    int(ib[u, v]), int(ib[u + 1, v]),
+                    int(ib[u + 1, v + 1]), int(ib[u, v + 1]),
+                ])
+    with open(path, "w") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write("repro surface export\nASCII\nDATASET UNSTRUCTURED_GRID\n")
+        fh.write(f"POINTS {coords.shape[0]} double\n")
+        np.savetxt(fh, coords, fmt="%.9e")
+        fh.write(f"CELLS {len(quads)} {5 * len(quads)}\n")
+        for quad in quads:
+            fh.write("4 " + " ".join(map(str, quad)) + "\n")
+        fh.write(f"CELL_TYPES {len(quads)}\n")
+        fh.write("\n".join([str(_VTK_QUAD)] * len(quads)) + "\n")
+        if point_data:
+            fh.write(f"POINT_DATA {coords.shape[0]}\n")
+            for name, values in point_data.items():
+                values = np.asarray(values)
+                if values.ndim == 1:
+                    fh.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                    np.savetxt(fh, values, fmt="%.9e")
+                else:
+                    fh.write(f"VECTORS {name} double\n")
+                    np.savetxt(fh, values, fmt="%.9e")
+    return path

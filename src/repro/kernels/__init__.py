@@ -1,0 +1,47 @@
+"""Compute kernels: elastic/acoustic internal forces, padding, flop counts."""
+
+from .acoustic import compute_forces_acoustic, fluid_displacement
+from .anisotropic import (
+    TIModuli,
+    compute_forces_elastic_ti,
+    radial_frames,
+    stress_ti,
+)
+from .elastic import (
+    KERNEL_VARIANTS,
+    compute_forces_elastic,
+    compute_strain,
+    stress_from_strain,
+)
+from .flops import (
+    acoustic_kernel_flops,
+    attenuation_update_flops,
+    elastic_kernel_flops,
+    newmark_update_flops,
+    timestep_flops,
+)
+from .geometry import ElementGeometry, compute_geometry
+from .padding import pad_elements, padding_overhead, unpad_elements
+
+__all__ = [
+    "compute_forces_acoustic",
+    "fluid_displacement",
+    "TIModuli",
+    "compute_forces_elastic_ti",
+    "radial_frames",
+    "stress_ti",
+    "KERNEL_VARIANTS",
+    "compute_forces_elastic",
+    "compute_strain",
+    "stress_from_strain",
+    "acoustic_kernel_flops",
+    "attenuation_update_flops",
+    "elastic_kernel_flops",
+    "newmark_update_flops",
+    "timestep_flops",
+    "ElementGeometry",
+    "compute_geometry",
+    "pad_elements",
+    "padding_overhead",
+    "unpad_elements",
+]

@@ -1,0 +1,106 @@
+"""Analytic flop counts for the SEM kernels (the PSiNS-analog input).
+
+The paper measures sustained Tflops with the PSiNSlight tracer; with a
+Python substrate we count the floating-point operations of the algorithm
+analytically instead.  The counts below follow the weak-form elastic and
+acoustic kernels operation by operation and are validated in the tests by
+dimensional reasoning (they scale exactly with nspec and with the known
+per-point operation mix).
+
+The dominant cost is the six derivative contractions per element: each is
+a (n x n) matrix product applied to n^2 cutplanes per component — exactly
+the small 5x5 matrix products Section 4.3 vectorises.
+"""
+
+from __future__ import annotations
+
+from ..config import constants
+
+__all__ = [
+    "elastic_kernel_flops",
+    "acoustic_kernel_flops",
+    "newmark_update_flops",
+    "attenuation_update_flops",
+    "timestep_flops",
+]
+
+
+def _contraction_flops(ngll: int, ncomp: int) -> int:
+    """One derivative (or -B^T) pass: 3 axes of n-point dot products.
+
+    Per point per axis per component: n multiplies + (n-1) adds.
+    """
+    n3 = ngll**3
+    return 3 * n3 * ncomp * (2 * ngll - 1)
+
+
+def elastic_kernel_flops(nspec: int, ngll: int = constants.NGLLX) -> int:
+    """Flops of one elastic internal-force evaluation over nspec elements."""
+    n3 = ngll**3
+    per_element = 0
+    # Forward derivative contractions (3 components).
+    per_element += _contraction_flops(ngll, 3)
+    # Physical gradient: G[c,d] = sum_l t[l,c] * invjac[l,d]: 9 entries x
+    # (3 mult + 2 add) = 45 flops/point.
+    per_element += n3 * 45
+    # Strain symmetrisation: 6 entries x (1 add + 1 mult) ~ 12.
+    per_element += n3 * 12
+    # Hooke's law: trace (2 add), 9 x (2 mult) + 3 diag add ~ 23.
+    per_element += n3 * 23
+    # Flux projection: same 45 as gradient + jacobian scale (9 mult).
+    per_element += n3 * (45 + 9)
+    # -B^T contraction (3 components) + transverse weight scalings (~6/pt).
+    per_element += _contraction_flops(ngll, 3) + n3 * 6
+    return nspec * per_element
+
+
+def acoustic_kernel_flops(nspec: int, ngll: int = constants.NGLLX) -> int:
+    """Flops of one acoustic stiffness evaluation over nspec elements."""
+    n3 = ngll**3
+    per_element = 0
+    per_element += _contraction_flops(ngll, 1)  # forward derivatives
+    per_element += n3 * 15  # gradient projection: 3 x (3 mult + 2 add)
+    per_element += n3 * (15 + 2)  # flux projection + rho/jacobian scaling
+    per_element += _contraction_flops(ngll, 1) + n3 * 4  # -B^T + weights
+    return nspec * per_element
+
+
+def newmark_update_flops(nglob: int, ncomp: int = 3) -> int:
+    """Predictor + corrector global updates: ~9 flops per dof per step."""
+    return 9 * nglob * ncomp
+
+
+def attenuation_update_flops(
+    nspec: int, ngll: int = constants.NGLLX, n_sls: int = constants.N_SLS
+) -> int:
+    """Memory-variable update + stress correction per step.
+
+    Per GLL point: strain recomputation is already counted by the extra
+    gradient pass (see :func:`timestep_flops`); here we count, per SLS and
+    per deviatoric component (6), the exponential update (3 flops) and the
+    correction accumulation (2 flops).
+    """
+    n3 = ngll**3
+    return nspec * n3 * n_sls * 6 * 5
+
+
+def timestep_flops(
+    nspec_solid: int,
+    nspec_fluid: int,
+    nglob_solid: int,
+    nglob_fluid: int,
+    attenuation: bool = False,
+    ngll: int = constants.NGLLX,
+) -> int:
+    """Total flops of one time step of the coupled solver."""
+    total = elastic_kernel_flops(nspec_solid, ngll)
+    total += acoustic_kernel_flops(nspec_fluid, ngll)
+    total += newmark_update_flops(nglob_solid, 3)
+    total += newmark_update_flops(nglob_fluid, 1)
+    if attenuation:
+        # Extra strain pass (forward derivatives + gradient) ...
+        n3 = ngll**3
+        total += nspec_solid * (_contraction_flops(ngll, 3) + n3 * 45 + n3 * 12)
+        # ... plus the memory-variable updates.
+        total += attenuation_update_flops(nspec_solid, ngll)
+    return total

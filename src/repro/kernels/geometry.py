@@ -1,0 +1,80 @@
+"""Element geometry factors: inverse Jacobians and integration weights.
+
+The mesher stores only GLL coordinates; before time marching the solver
+derives, at every GLL point of every element,
+
+* the Jacobian matrix ``d(x,y,z)/d(xi,eta,gamma)`` by spectral
+  differentiation of the coordinate interpolant (exact for the degree-4
+  isoparametric geometry),
+* its inverse ``d(xi,eta,gamma)/d(x,y,z)`` (SPECFEM's ``xix..gammaz``), and
+* the determinant times the tensor-product quadrature weights — the
+  volume measure of every weak-form integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gll.lagrange import GLLBasis
+
+__all__ = ["ElementGeometry", "compute_geometry"]
+
+
+@dataclass
+class ElementGeometry:
+    """Precomputed geometric factors for a set of elements.
+
+    Attributes
+    ----------
+    inv_jacobian : (nspec, n, n, n, 3, 3) with [l, c] = d xi_l / d x_c
+        (rows: reference axes, columns: physical axes).
+    jacobian : (nspec, n, n, n) determinant of dx/dxi (positive).
+    jweight : (nspec, n, n, n) jacobian * w_i w_j w_k, the volume measure.
+    """
+
+    inv_jacobian: np.ndarray
+    jacobian: np.ndarray
+    jweight: np.ndarray
+
+    @property
+    def nspec(self) -> int:
+        return self.jacobian.shape[0]
+
+
+def compute_geometry(xyz: np.ndarray, basis: GLLBasis | None = None) -> ElementGeometry:
+    """Compute :class:`ElementGeometry` from GLL coordinates.
+
+    Raises if any point has a non-positive Jacobian (inverted or degenerate
+    element) — meshes from :mod:`repro.mesh` always pass.
+    """
+    xyz = np.asarray(xyz, dtype=np.float64)
+    if xyz.ndim != 5 or xyz.shape[-1] != 3:
+        raise ValueError(f"expected (nspec, n, n, n, 3), got {xyz.shape}")
+    if basis is None:
+        basis = GLLBasis(xyz.shape[1])
+    h = basis.hprime
+    # dx/dxi_l at every point: contract hprime along each local axis.
+    d_xi = np.einsum("il,eljkc->eijkc", h, xyz)
+    d_eta = np.einsum("jl,eilkc->eijkc", h, xyz)
+    d_gam = np.einsum("kl,eijlc->eijkc", h, xyz)
+    # jac[e,i,j,k][l,c] = d x_c / d xi_l
+    jac = np.stack([d_xi, d_eta, d_gam], axis=-2)
+    det = np.linalg.det(jac)
+    if np.any(det <= 0.0):
+        bad = int(np.sum(det <= 0.0))
+        raise ValueError(
+            f"{bad} GLL points have non-positive Jacobian (min {det.min():.3e})"
+        )
+    inv = np.linalg.inv(jac)  # [c?, ] -> inv[l?, ]: (dxi/dx)
+    # np.linalg.inv of [l, c] = dx_c/dxi_l gives [c, l] = dxi_l / dx_c as the
+    # matrix inverse: (J^-1)[c, l]. We want [l, c] = d xi_l / d x_c, i.e. the
+    # transpose of the matrix inverse of J[l, c].
+    inv_jacobian = np.swapaxes(inv, -1, -2)
+    jweight = det * basis.wgll3[None, ...]
+    return ElementGeometry(
+        inv_jacobian=np.ascontiguousarray(inv_jacobian),
+        jacobian=det,
+        jweight=jweight,
+    )

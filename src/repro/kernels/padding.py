@@ -1,0 +1,56 @@
+"""125 -> 128 element padding (paper Section 4.3).
+
+The SSE/Altivec kernels in SPECFEM3D_GLOBE align each element's 5x5x5 =
+125-float block on 128 floats using three zero dummy values, wasting
+128/125 - 1 = 2.4% of memory in exchange for aligned vector loads.  The
+NumPy analog keeps per-element data in a flat (nspec, 128) layout whose
+rows are 512-byte aligned when the array itself is.
+
+These helpers convert between the natural (nspec, 5, 5, 5) layout and the
+padded flat layout, and account the memory overhead for the A-SSE ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import constants
+
+__all__ = ["pad_elements", "unpad_elements", "padding_overhead"]
+
+
+def pad_elements(array: np.ndarray, padded_size: int = constants.NGLL3_PADDED) -> np.ndarray:
+    """(nspec, n, n, n[, comp]) -> (nspec, padded[, comp]) zero-padded copy."""
+    nspec = array.shape[0]
+    n3 = array.shape[1] * array.shape[2] * array.shape[3]
+    if n3 > padded_size:
+        raise ValueError(f"cannot pad {n3} values into {padded_size}")
+    trailing = array.shape[4:]
+    flat = array.reshape(nspec, n3, *trailing)
+    out = np.zeros((nspec, padded_size, *trailing), dtype=array.dtype)
+    out[:, :n3] = flat
+    return out
+
+
+def unpad_elements(
+    padded: np.ndarray, ngll: int = constants.NGLLX
+) -> np.ndarray:
+    """(nspec, padded[, comp]) -> (nspec, n, n, n[, comp]) view-copy."""
+    nspec = padded.shape[0]
+    n3 = ngll**3
+    if padded.shape[1] < n3:
+        raise ValueError(
+            f"padded axis has {padded.shape[1]} values, need at least {n3}"
+        )
+    trailing = padded.shape[2:]
+    return padded[:, :n3].reshape(nspec, ngll, ngll, ngll, *trailing).copy()
+
+
+def padding_overhead(
+    ngll: int = constants.NGLLX, padded_size: int = constants.NGLL3_PADDED
+) -> float:
+    """Relative memory waste of the padded layout (the paper's 2.4%)."""
+    n3 = ngll**3
+    if padded_size < n3:
+        raise ValueError("padded size smaller than element size")
+    return padded_size / n3 - 1.0

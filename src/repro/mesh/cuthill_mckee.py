@@ -1,0 +1,126 @@
+"""Reverse Cuthill-McKee element sorting with multilevel cache blocking.
+
+Section 4.2 of the paper: the order in which the solver loops over
+spectral elements is free mathematically (assembly is a commutative sum)
+but matters for cache reuse, because neighbouring elements share face/edge
+/corner points.  The paper sorts elements with the classical reverse
+Cuthill-McKee algorithm on the element-connectivity graph, then applies a
+*multilevel* pass that groups 50-100 consecutive elements — one L2-cache
+working set — and the global points are renumbered afterwards.  The
+measured gain was at most ~5% (good news: earlier renumbering already
+removed most misses); our ablation benchmark reproduces that small-gain
+observation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "element_adjacency",
+    "cuthill_mckee_order",
+    "multilevel_cache_blocks",
+    "reorder_elements",
+]
+
+
+def element_adjacency(ibool: np.ndarray) -> list[np.ndarray]:
+    """Element-connectivity graph: elements sharing >= 1 global point.
+
+    Returns, for each element, the sorted array of neighbouring element
+    indices.  Built by inverting ibool (global point -> touching elements),
+    which is O(total points) rather than O(nspec^2).
+    """
+    nspec = ibool.shape[0]
+    flat = ibool.reshape(nspec, -1)
+    elem_of_entry = np.repeat(np.arange(nspec), flat.shape[1])
+    points = flat.ravel()
+    order = np.argsort(points, kind="stable")
+    points_sorted = points[order]
+    elems_sorted = elem_of_entry[order]
+    boundaries = np.flatnonzero(np.diff(points_sorted)) + 1
+    groups = np.split(elems_sorted, boundaries)
+    neighbor_sets: list[set[int]] = [set() for _ in range(nspec)]
+    for group in groups:
+        unique = np.unique(group)
+        if unique.size < 2:
+            continue
+        for e in unique:
+            neighbor_sets[e].update(unique.tolist())
+    out: list[np.ndarray] = []
+    for e in range(nspec):
+        neighbor_sets[e].discard(e)
+        out.append(np.fromiter(sorted(neighbor_sets[e]), dtype=np.int64))
+    return out
+
+
+def cuthill_mckee_order(adjacency: list[np.ndarray], reverse: bool = True) -> np.ndarray:
+    """(Reverse) Cuthill-McKee ordering of the element graph.
+
+    Standard BFS from a minimum-degree start node, visiting neighbours in
+    increasing-degree order; repeated per connected component.  With
+    ``reverse=True`` (the default, and what the paper uses) the final order
+    is flipped, which further reduces profile/bandwidth.
+
+    Returns a permutation array ``order`` with ``order[new_pos] = old_index``.
+    """
+    n = len(adjacency)
+    degrees = np.array([len(a) for a in adjacency])
+    visited = np.zeros(n, dtype=bool)
+    result: list[int] = []
+    # Deterministic component sweep: start each BFS at the unvisited node
+    # of minimum degree (ties -> lowest index).
+    unvisited_order = np.lexsort((np.arange(n), degrees))
+    for start in unvisited_order:
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue: deque[int] = deque([int(start)])
+        while queue:
+            node = queue.popleft()
+            result.append(node)
+            nbrs = [int(x) for x in adjacency[node] if not visited[x]]
+            nbrs.sort(key=lambda x: (degrees[x], x))
+            for x in nbrs:
+                visited[x] = True
+                queue.append(x)
+    order = np.asarray(result, dtype=np.int64)
+    if reverse:
+        order = order[::-1].copy()
+    return order
+
+
+def multilevel_cache_blocks(
+    order: np.ndarray, block_elements: int = 64
+) -> list[np.ndarray]:
+    """Group a CM-ordered element sequence into L2-sized blocks.
+
+    The paper's multilevel refinement: consecutive groups of 50-100
+    elements (here ``block_elements``) form one cache working set; the
+    groups themselves stay in CM order.  Returned blocks partition
+    ``order``.
+    """
+    if block_elements < 1:
+        raise ValueError(f"block size must be >= 1, got {block_elements}")
+    return [
+        order[i : i + block_elements] for i in range(0, order.size, block_elements)
+    ]
+
+
+def reorder_elements(order: np.ndarray, *element_arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Apply an element permutation to per-element arrays (ibool, xyz, rho...).
+
+    ``order[new_pos] = old_index``; each array's leading axis is nspec.
+    """
+    order = np.asarray(order)
+    out = []
+    for arr in element_arrays:
+        if arr.shape[0] != order.size:
+            raise ValueError(
+                f"array with leading dim {arr.shape[0]} does not match "
+                f"permutation of {order.size} elements"
+            )
+        out.append(arr[order])
+    return tuple(out)

@@ -1,0 +1,20 @@
+"""Earth models: PREM, attenuation fitting, synthetic 3-D perturbations, ellipticity."""
+
+from .attenuation import SLSFit, fit_constant_q, q_of_omega
+from .ellipticity import EllipticityProfile
+from .perturbations import SyntheticTomography
+from .prem import PREM, PremLayer, PremModel, RegionCode
+from .topography import SyntheticTopography
+
+__all__ = [
+    "SyntheticTopography",
+    "PREM",
+    "PremLayer",
+    "PremModel",
+    "RegionCode",
+    "SLSFit",
+    "fit_constant_q",
+    "q_of_omega",
+    "EllipticityProfile",
+    "SyntheticTomography",
+]

@@ -1,0 +1,104 @@
+"""Hydrostatic ellipticity of figure (Clairaut theory, Radau approximation).
+
+SPECFEM3D_GLOBE can flatten its spherical mesh into the Earth's hydrostatic
+ellipsoidal figure.  The flattening profile epsilon(r) is obtained here by
+integrating Clairaut's equation with Darwin-Radau's closure, using the PREM
+density profile — a self-contained implementation of the same physics the
+Fortran code tabulates.
+
+A point at radius r and colatitude theta on the spherical mesh moves to
+
+    r_ell = r * (1 - (2/3) * epsilon(r) * P2(cos theta))
+
+which preserves volume to first order in epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import constants
+from .prem import PREM
+
+__all__ = ["EllipticityProfile"]
+
+
+class EllipticityProfile:
+    """epsilon(r) from the Darwin-Radau solution of Clairaut's equation.
+
+    The Radau closure turns Clairaut's second-order ODE into the first-order
+    form d(eta)/dr with eta = (r/eps) d(eps)/dr, integrated outward from
+    eta(0) = 0; the surface boundary condition fixes the overall scale via
+    eta(R) and the dynamical ratio m/eps relation, but for mesh flattening
+    we normalise to the observed surface flattening 1/299.8 (hydrostatic).
+    """
+
+    #: Hydrostatic surface flattening (Nakiboglu 1982), not the geodetic 1/298.
+    SURFACE_FLATTENING = 1.0 / 299.8
+
+    def __init__(self, n_radii: int = 400):
+        if n_radii < 10:
+            raise ValueError("need at least 10 radial samples")
+        self.r_km = np.linspace(0.0, constants.R_EARTH_KM, n_radii)
+        self._epsilon = self._integrate_radau()
+
+    def _mean_density_inside(self, r_km: np.ndarray) -> np.ndarray:
+        """Mean density (kg/m^3) of the sphere enclosed by each radius."""
+        out = np.empty_like(r_km)
+        for i, r in enumerate(r_km):
+            if r <= 0:
+                out[i] = PREM.density(0.0)
+                continue
+            volume = 4.0 / 3.0 * np.pi * (r * 1000.0) ** 3
+            out[i] = PREM.enclosed_mass_kg(float(r)) / volume
+        return out
+
+    def _integrate_radau(self) -> np.ndarray:
+        # Radau's equation: d(eta)/dr = (6/r)*(rho/rhobar)*(eta+1) ... the
+        # standard first-order form is
+        #   r * d(eta)/dr + eta^2 - eta - 6 + 6*(rho/rhobar)*(eta + 1) = 0
+        # integrated with eta(0) = 0 by RK2 on the radial grid.
+        r = self.r_km
+        rho = np.asarray(PREM.density(r))
+        rhobar = self._mean_density_inside(r)
+        ratio = rho / np.maximum(rhobar, 1e-30)
+
+        def rhs(ri: float, eta: float, rat: float) -> float:
+            if ri <= 1e-9:
+                return 0.0
+            return -(eta * eta - eta - 6.0 + 6.0 * rat * (eta + 1.0)) / ri
+
+        eta = np.zeros_like(r)
+        for i in range(1, r.size):
+            h = r[i] - r[i - 1]
+            rat_mid = 0.5 * (ratio[i - 1] + ratio[i])
+            k1 = rhs(r[i - 1], eta[i - 1], ratio[i - 1])
+            k2 = rhs(r[i - 1] + 0.5 * h, eta[i - 1] + 0.5 * h * k1, rat_mid)
+            eta[i] = eta[i - 1] + h * k2
+        # eps(r) from eta: d(ln eps)/d(ln r) = eta  =>  integrate inward from
+        # the surface where eps = SURFACE_FLATTENING.
+        ln_eps = np.zeros_like(r)
+        for i in range(r.size - 1, 0, -1):
+            r_mid = 0.5 * (r[i] + r[i - 1])
+            eta_mid = 0.5 * (eta[i] + eta[i - 1])
+            if r_mid > 1e-9:
+                ln_eps[i - 1] = ln_eps[i] - eta_mid * (r[i] - r[i - 1]) / r_mid
+        eps = self.SURFACE_FLATTENING * np.exp(ln_eps - ln_eps[-1])
+        return eps
+
+    def epsilon(self, r_km: np.ndarray | float) -> np.ndarray | float:
+        """Flattening at radius r (interpolated from the integrated profile)."""
+        return np.interp(np.asarray(r_km, dtype=np.float64), self.r_km, self._epsilon)
+
+    def apply_to_points(self, points_km: np.ndarray) -> np.ndarray:
+        """Flatten Cartesian mesh points into the hydrostatic ellipsoid.
+
+        ``points_km`` has shape (..., 3); returns the displaced copy.
+        """
+        points = np.asarray(points_km, dtype=np.float64)
+        r = np.linalg.norm(points, axis=-1)
+        r_safe = np.where(r > 0, r, 1.0)
+        cos_theta = points[..., 2] / r_safe
+        p2 = 0.5 * (3.0 * cos_theta**2 - 1.0)
+        factor = 1.0 - (2.0 / 3.0) * self.epsilon(r) * p2
+        return points * factor[..., None]

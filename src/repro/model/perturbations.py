@@ -1,0 +1,111 @@
+"""Synthetic 3-D mantle heterogeneity (tomography stand-in).
+
+The paper's production runs use 3-D tomographic mantle models; those are
+proprietary-sized datasets we substitute with a deterministic synthetic
+model: a band-limited sum of low-degree spherical harmonics with
+depth-dependent amplitude, mimicking the long-wavelength character of
+models like S20RTS ("current tomographic models reveal only large-scale
+features", Section 3).  The *code path* exercised — querying a 3-D
+perturbation at every GLL point during material assignment — is identical
+to the production one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import sph_harm_y
+
+from ..config import constants
+
+__all__ = ["SyntheticTomography"]
+
+
+def _real_sph_harm(l: int, m: int, theta: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """Real spherical harmonic Y_lm(theta, phi), colatitude/longitude in rad."""
+    if m == 0:
+        return np.real(sph_harm_y(l, 0, theta, phi))
+    if m > 0:
+        return np.sqrt(2.0) * np.real(sph_harm_y(l, m, theta, phi))
+    return np.sqrt(2.0) * np.imag(sph_harm_y(l, -m, theta, phi))
+
+
+@dataclass
+class SyntheticTomography:
+    """Deterministic band-limited 3-D velocity/density perturbation model.
+
+    dv/v at a point is a sum over spherical-harmonic degrees 1..l_max with
+    random (seeded) coefficients decaying as 1/(l+1), tapered radially so
+    perturbations vanish in the core and peak in the mid-mantle.
+
+    Parameters
+    ----------
+    l_max : maximum spherical-harmonic degree (long wavelengths only)
+    amplitude : peak relative perturbation (e.g. 0.02 = +-2 percent)
+    seed : RNG seed making the model reproducible
+    """
+
+    l_max: int = 4
+    amplitude: float = 0.02
+    seed: int = 2008
+    _coeffs: dict[tuple[int, int], float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.l_max < 1:
+            raise ValueError(f"l_max must be >= 1, got {self.l_max}")
+        if not 0.0 <= self.amplitude < 0.5:
+            raise ValueError(
+                f"amplitude must be a small relative perturbation, got {self.amplitude}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self._coeffs = {}
+        for l in range(1, self.l_max + 1):
+            for m in range(-l, l + 1):
+                self._coeffs[(l, m)] = rng.standard_normal() / (l + 1.0)
+        # Normalise so the maximum perturbation magnitude is ~amplitude.
+        norm = np.sqrt(sum(c * c for c in self._coeffs.values()))
+        if norm > 0:
+            for key in self._coeffs:
+                self._coeffs[key] *= self.amplitude / norm
+
+    def radial_taper(self, r_km: np.ndarray | float) -> np.ndarray | float:
+        """Smooth taper: zero below the CMB, peak mid-mantle, small at surface."""
+        r = np.asarray(r_km, dtype=np.float64)
+        cmb, surf = constants.R_CMB_KM, constants.R_EARTH_KM
+        s = np.clip((r - cmb) / (surf - cmb), 0.0, 1.0)
+        return np.sin(np.pi * s) ** 2
+
+    def dv_over_v(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+    ) -> np.ndarray:
+        """Relative velocity perturbation at Cartesian points (km units)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        z = np.asarray(z, dtype=np.float64)
+        r = np.sqrt(x * x + y * y + z * z)
+        r_safe = np.where(r > 0, r, 1.0)
+        theta = np.arccos(np.clip(z / r_safe, -1.0, 1.0))
+        phi = np.arctan2(y, x)
+        out = np.zeros_like(r)
+        for (l, m), c in self._coeffs.items():
+            out += c * _real_sph_harm(l, m, theta, phi)
+        return out * self.radial_taper(r)
+
+    def perturb(
+        self,
+        values: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+        scale: float = 1.0,
+    ) -> np.ndarray:
+        """Apply the perturbation multiplicatively: ``values * (1 + scale*dv/v)``.
+
+        ``scale`` lets density and vp use damped versions of the vs
+        perturbation, the usual tomographic scaling practice.
+        """
+        return values * (1.0 + scale * self.dv_over_v(x, y, z))

@@ -1,0 +1,16 @@
+"""Virtual MPI: communicators, halo assembly, distributed launcher."""
+
+from .comm import CommStats, VirtualCluster, VirtualComm
+from .halo import HaloExchanger, RegionHalo, build_halos
+from .launcher import DistributedResult, run_distributed_simulation
+
+__all__ = [
+    "CommStats",
+    "VirtualCluster",
+    "VirtualComm",
+    "HaloExchanger",
+    "RegionHalo",
+    "build_halos",
+    "DistributedResult",
+    "run_distributed_simulation",
+]

@@ -1,0 +1,246 @@
+"""Virtual MPI: communicator API with message accounting.
+
+The execution environment has no MPI; this module provides an in-process
+substitute with mpi4py-like semantics.  Rank programs run as Python
+threads (NumPy releases the GIL, so element work overlaps) and communicate
+through thread-safe mailboxes.  Every operation is accounted — message
+counts, byte volumes, and wall-clock time blocked in communication — which
+is exactly the data the paper's IPM measurements provide for the
+communication model of Figure 6.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CommStats", "VirtualComm", "VirtualCluster"]
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication accounting (the IPM-analog raw data)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    comm_time_s: float = 0.0
+    barriers: int = 0
+    allreduces: int = 0
+
+
+class VirtualComm:
+    """One rank's endpoint in a :class:`VirtualCluster`."""
+
+    def __init__(self, cluster: "VirtualCluster", rank: int):
+        self._cluster = cluster
+        self.rank = rank
+        self.size = cluster.size
+        self.stats = CommStats()
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, dest: int, payload: np.ndarray, tag: int = 0) -> None:
+        """Eager (buffered) send: copies the payload into the mailbox."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        if dest == self.rank:
+            raise ValueError("self-send is not supported")
+        data = np.array(payload, copy=True)
+        self._cluster._mailbox(dest).put((self.rank, tag, data))
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += data.nbytes
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 60.0) -> np.ndarray:
+        """Blocking receive matched on (source, tag)."""
+        t0 = time.perf_counter()
+        data = self._cluster._match(self.rank, source, tag, timeout)
+        self.stats.comm_time_s += time.perf_counter() - t0
+        self.stats.messages_received += 1
+        self.stats.bytes_received += data.nbytes
+        return data
+
+    def sendrecv(
+        self, dest: int, payload: np.ndarray, source: int, tag: int = 0
+    ) -> np.ndarray:
+        """Exchange with distinct peers without deadlock (send is eager)."""
+        self.send(dest, payload, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        t0 = time.perf_counter()
+        self._cluster._barrier.wait()
+        self.stats.comm_time_s += time.perf_counter() - t0
+        self.stats.barriers += 1
+
+    def allreduce(self, value: np.ndarray | float, op: str = "sum"):
+        """Allreduce over all ranks (sum/min/max), returning the same type."""
+        t0 = time.perf_counter()
+        result = self._cluster._allreduce(self.rank, np.asarray(value), op)
+        self.stats.comm_time_s += time.perf_counter() - t0
+        self.stats.allreduces += 1
+        if np.isscalar(value) or np.asarray(value).ndim == 0:
+            return float(result)
+        return result
+
+    def gather(self, value, root: int = 0):
+        """Gather arbitrary per-rank objects at the root (returns list or None)."""
+        t0 = time.perf_counter()
+        out = self._cluster._gather(self.rank, value, root)
+        self.stats.comm_time_s += time.perf_counter() - t0
+        return out
+
+
+class VirtualCluster:
+    """A set of ranks executing one SPMD program on threads.
+
+    Usage::
+
+        cluster = VirtualCluster(6)
+        results = cluster.run(lambda comm: program(comm, ...))
+
+    ``run`` returns the per-rank return values; ``stats`` afterwards holds
+    the per-rank :class:`CommStats`.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {size}")
+        self.size = size
+        self._mailboxes = [queue.Queue() for _ in range(size)]
+        self._unmatched: list[list[tuple[int, int, np.ndarray]]] = [
+            [] for _ in range(size)
+        ]
+        self._barrier = threading.Barrier(size)
+        self._reduce_lock = threading.Lock()
+        self._reduce_buffer: dict[str, object] = {}
+        # Two distinct barriers delimit the collect and read phases of each
+        # collective; cleanup happens strictly between a rank's read-phase
+        # barrier and its next collect, which makes reuse race-free.
+        self._collect_barrier = threading.Barrier(size)
+        self._read_barrier = threading.Barrier(size)
+        self._gather_buffer: dict[int, list] = {}
+        self.stats: list[CommStats] = [CommStats() for _ in range(size)]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _mailbox(self, rank: int) -> queue.Queue:
+        return self._mailboxes[rank]
+
+    def _match(self, rank: int, source: int, tag: int, timeout: float) -> np.ndarray:
+        # Check already-drained messages first.
+        pending = self._unmatched[rank]
+        for i, (src, t, data) in enumerate(pending):
+            if src == source and t == tag:
+                pending.pop(i)
+                return data
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {rank}: no message from {source} tag {tag} "
+                    f"within {timeout}s"
+                )
+            try:
+                src, t, data = self._mailboxes[rank].get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if src == source and t == tag:
+                return data
+            pending.append((src, t, data))
+
+    def _allreduce(self, rank: int, value: np.ndarray, op: str) -> np.ndarray:
+        if op not in ("sum", "min", "max"):
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        if self.size == 1:
+            return value.copy()
+        with self._reduce_lock:
+            self._reduce_buffer.setdefault("values", []).append(value)
+        self._collect_barrier.wait()
+        with self._reduce_lock:
+            if "result" not in self._reduce_buffer:
+                stack = np.stack(self._reduce_buffer.pop("values"))
+                if op == "sum":
+                    result = stack.sum(axis=0)
+                elif op == "min":
+                    result = stack.min(axis=0)
+                else:
+                    result = stack.max(axis=0)
+                self._reduce_buffer["result"] = result
+            result = np.array(self._reduce_buffer["result"], copy=True)
+        self._read_barrier.wait()
+        # Safe: every rank has copied the result; the next round's result
+        # cannot be created before all ranks pass the next collect barrier,
+        # which each rank only reaches after this pop.
+        with self._reduce_lock:
+            self._reduce_buffer.pop("result", None)
+        return result
+
+    def _gather(self, rank: int, value, root: int):
+        if self.size == 1:
+            return [value] if rank == root else [value]
+        with self._reduce_lock:
+            self._gather_buffer.setdefault(root, [None] * self.size)
+            self._gather_buffer[root][rank] = value
+        self._collect_barrier.wait()
+        out = None
+        if rank == root:
+            with self._reduce_lock:
+                out = list(self._gather_buffer[root])
+        self._read_barrier.wait()
+        with self._reduce_lock:
+            self._gather_buffer.pop(root, None)
+        return out
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, program, timeout: float = 600.0) -> list:
+        """Run ``program(comm)`` on every rank; returns per-rank results.
+
+        Any rank raising propagates the first exception after all threads
+        finish or the timeout expires.
+        """
+        results: list = [None] * self.size
+        errors: list = [None] * self.size
+
+        def runner(rank: int) -> None:
+            comm = VirtualComm(self, rank)
+            try:
+                results[rank] = program(comm)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                errors[rank] = exc
+                # Break the barriers so other ranks do not hang forever.
+                self._barrier.abort()
+                self._collect_barrier.abort()
+                self._read_barrier.abort()
+            finally:
+                self.stats[rank] = comm.stats
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout)
+            if t.is_alive():
+                raise TimeoutError("virtual cluster run timed out")
+        # Prefer the root-cause exception: barrier aborts on other ranks are
+        # secondary effects of the first real failure.
+        real = [e for e in errors if e is not None
+                and not isinstance(e, threading.BrokenBarrierError)]
+        if real:
+            raise real[0]
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results

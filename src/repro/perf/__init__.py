@@ -1,0 +1,58 @@
+"""Performance lab: machine models, IPM analog, comm/runtime/flops models."""
+
+from .comm_model import (
+    CommTimeFit,
+    analytic_comm_time_per_step,
+    analytic_total_comm_time,
+    fit_comm_times,
+)
+from .extrapolate import RunPrediction, predict_run
+from .flops_model import (
+    EFFECTIVE_ARITHMETIC_INTENSITY,
+    PAPER_PRODUCTION_RUNS,
+    production_run_model,
+    sustained_gflops_per_core,
+    sustained_tflops,
+)
+from .ipm import IPMProfiler, IPMReport, report_from_distributed
+from .psins import FlopsReport, measure_sustained_flops
+from .machines import FRANKLIN, JAGUAR, KRAKEN, MACHINES, RANGER, MachineSpec
+from .runtime_model import RuntimeFit, fit_runtime_model, holdout_prediction_error
+from .sizes import (
+    BYTES_PER_POINT_SOLVER,
+    SliceSizeModel,
+    production_effective_ner,
+    slice_size_model,
+)
+
+__all__ = [
+    "CommTimeFit",
+    "analytic_comm_time_per_step",
+    "analytic_total_comm_time",
+    "fit_comm_times",
+    "RunPrediction",
+    "predict_run",
+    "EFFECTIVE_ARITHMETIC_INTENSITY",
+    "PAPER_PRODUCTION_RUNS",
+    "production_run_model",
+    "sustained_gflops_per_core",
+    "sustained_tflops",
+    "IPMProfiler",
+    "IPMReport",
+    "report_from_distributed",
+    "FlopsReport",
+    "measure_sustained_flops",
+    "FRANKLIN",
+    "JAGUAR",
+    "KRAKEN",
+    "MACHINES",
+    "RANGER",
+    "MachineSpec",
+    "RuntimeFit",
+    "fit_runtime_model",
+    "holdout_prediction_error",
+    "BYTES_PER_POINT_SOLVER",
+    "SliceSizeModel",
+    "production_effective_ner",
+    "slice_size_model",
+]

@@ -1,0 +1,115 @@
+"""Whole-run extrapolation: the paper's 12K- and 62K-core predictions.
+
+Combines the size model (elements/points/halo per core), the kernel flop
+counts, the machine roofline, and the comm model into a prediction of a
+full production run: compute time per step, comm time and fraction,
+memory per core, sustained Tflops, and total wall time — the quantities
+of the paper's Section 5 extrapolations (T-EXTRAP) and the Section 7
+"25 minutes of seismograms take ~1 week on 32K processors" estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import constants
+from ..kernels.flops import timestep_flops
+from .comm_model import analytic_comm_time_per_step
+from .flops_model import sustained_gflops_per_core
+from .machines import MachineSpec
+from .sizes import slice_size_model
+
+__all__ = ["RunPrediction", "predict_run"]
+
+
+@dataclass(frozen=True)
+class RunPrediction:
+    """Predicted behaviour of one production configuration."""
+
+    machine: str
+    nex_xi: int
+    nproc_total: int
+    shortest_period_s: float
+    elements_per_core: int
+    memory_per_core_gb: float
+    n_steps: int
+    compute_s_per_step: float
+    comm_s_per_step: float
+    wall_time_s: float
+    comm_s_per_core: float
+    comm_s_total_all_cores: float
+    comm_fraction: float
+    sustained_tflops: float
+
+    def row(self) -> dict:
+        return {
+            "machine": self.machine,
+            "NEX_XI": self.nex_xi,
+            "cores": self.nproc_total,
+            "period_s": round(self.shortest_period_s, 2),
+            "mem_per_core_GB": round(self.memory_per_core_gb, 2),
+            "comm_s_per_core": round(self.comm_s_per_core, 1),
+            "comm_s_total": self.comm_s_total_all_cores,
+            "comm_fraction": round(self.comm_fraction, 4),
+            "sustained_tflops": round(self.sustained_tflops, 1),
+            "wall_time_s": round(self.wall_time_s, 1),
+        }
+
+
+def _steps_for_record(nex_xi: int, record_length_s: float) -> int:
+    """Time steps to simulate a record: dt scales like the shortest period.
+
+    The Courant dt is proportional to the smallest grid spacing over the
+    wave speed, i.e. inversely proportional to NEX; calibrated so a
+    1-second-period mesh (NEX ~ 4352) steps at ~9 ms, SPECFEM's regime.
+    """
+    dt = 0.009 * (constants.nex_for_shortest_period(1.0) / nex_xi)
+    return max(1, int(round(record_length_s / dt)))
+
+
+def predict_run(
+    machine: MachineSpec,
+    nex_xi: int,
+    nproc_xi: int,
+    record_length_s: float = 1500.0,
+    attenuation: bool = True,
+    ner_total: int | None = None,
+) -> RunPrediction:
+    """Predict a full run of ``record_length_s`` seconds of seismograms."""
+    size = slice_size_model(nex_xi, nproc_xi, ner_total)
+    nproc_total = constants.NCHUNKS * nproc_xi**2
+    elements = size.elements_per_slice(polar=False)
+    # Region mix: fluid outer core is roughly 1/6 of the radial extent.
+    nspec_fluid = elements // 6
+    nspec_solid = elements - nspec_fluid
+    points = size.points_per_slice
+    flops_per_step = timestep_flops(
+        nspec_solid=nspec_solid,
+        nspec_fluid=nspec_fluid,
+        nglob_solid=int(points * 5 / 6),
+        nglob_fluid=int(points * 1 / 6),
+        attenuation=attenuation,
+    )
+    sustained = sustained_gflops_per_core(machine) * 1e9
+    compute_per_step = flops_per_step / sustained
+    comm_per_step = analytic_comm_time_per_step(machine, size)
+    n_steps = _steps_for_record(nex_xi, record_length_s)
+    comm_per_core = comm_per_step * n_steps
+    total_per_core = (compute_per_step + comm_per_step) * n_steps
+    comm_fraction = comm_per_step / (compute_per_step + comm_per_step)
+    return RunPrediction(
+        machine=machine.name,
+        nex_xi=nex_xi,
+        nproc_total=nproc_total,
+        shortest_period_s=constants.shortest_period_for_nex(nex_xi),
+        elements_per_core=elements,
+        memory_per_core_gb=size.memory_bytes_per_slice / 1e9,
+        n_steps=n_steps,
+        compute_s_per_step=compute_per_step,
+        comm_s_per_step=comm_per_step,
+        wall_time_s=total_per_core,
+        comm_s_per_core=comm_per_core,
+        comm_s_total_all_cores=comm_per_core * nproc_total,
+        comm_fraction=comm_fraction,
+        sustained_tflops=sustained * nproc_total * (1 - comm_fraction) / 1e12,
+    )

@@ -1,0 +1,114 @@
+"""IPM-analog profiling: compute/communication split per rank.
+
+The paper measures communication with IPM ("a portable profiling tool
+that provides a performance summary of the computations and communications
+... with extremely low overhead").  Here the same summary is produced for
+virtual-cluster runs: per-rank wall time split into compute and
+communication, plus message and byte counts, aggregated into the numbers
+the Figure-6 / T-COMM experiments need.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.comm import CommStats
+
+__all__ = ["IPMProfiler", "IPMReport", "report_from_distributed"]
+
+
+@dataclass
+class IPMReport:
+    """Aggregated communication/computation summary of one parallel run."""
+
+    n_ranks: int
+    total_wall_s: float
+    total_comm_s: float
+    total_compute_s: float
+    total_messages: int
+    total_bytes: int
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of total (all-cores) time spent communicating."""
+        denom = self.total_comm_s + self.total_compute_s
+        return self.total_comm_s / denom if denom > 0 else 0.0
+
+    @property
+    def comm_time_per_core_s(self) -> float:
+        return self.total_comm_s / self.n_ranks
+
+    def row(self) -> dict:
+        """One summary row (for the benchmark tables)."""
+        return {
+            "ranks": self.n_ranks,
+            "comm_s_total": self.total_comm_s,
+            "comm_s_per_core": self.comm_time_per_core_s,
+            "comm_fraction": self.comm_fraction,
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+        }
+
+
+class IPMProfiler:
+    """Manual region profiler for serial instrumentation.
+
+    Usage::
+
+        ipm = IPMProfiler()
+        with ipm.region("compute"):
+            ...
+        with ipm.region("mpi"):
+            ...
+        ipm.summary()
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._t0 = time.perf_counter()
+
+    @contextmanager
+    def region(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def wall_s(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        wall = self.wall_s
+        return {
+            name: {
+                "total_s": total,
+                "calls": self.counts[name],
+                "percent_of_wall": 100.0 * total / wall if wall > 0 else 0.0,
+            }
+            for name, total in sorted(self.totals.items())
+        }
+
+
+def report_from_distributed(result) -> IPMReport:
+    """Build an :class:`IPMReport` from a
+    :class:`~repro.parallel.launcher.DistributedResult`."""
+    stats: list[CommStats] = result.comm_stats
+    total_comm = sum(s.comm_time_s for s in stats)
+    total_compute = float(np.sum(result.rank_compute_s))
+    return IPMReport(
+        n_ranks=len(stats),
+        total_wall_s=total_comm + total_compute,
+        total_comm_s=total_comm,
+        total_compute_s=total_compute,
+        total_messages=sum(s.messages_sent for s in stats),
+        total_bytes=sum(s.bytes_sent for s in stats),
+    )

@@ -1,0 +1,109 @@
+"""Machine descriptions of the paper's four systems (Section 5).
+
+Ranger (TACC Sun Constellation), Franklin (NERSC Cray XT4), Kraken (NICS
+Cray XT4), and Jaguar (ORNL Cray XT4), with the published core counts,
+clocks, peaks, and memory, plus an *effective per-core memory bandwidth*
+calibration used by the roofline-style sustained-flops model: the paper
+itself attributes Jaguar's higher flops rate to "better memory bandwidth
+per processor", which is exactly what this parameter captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "RANGER", "FRANKLIN", "KRAKEN", "JAGUAR", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One HPC system, as parameterised by the paper plus calibrations.
+
+    Attributes
+    ----------
+    total_cores, ghz, peak_gflops_per_core, memory_per_core_gb : published
+    rmax_tflops : LINPACK Rmax (None where the paper says unknown)
+    stream_bw_gb_per_core : effective per-core memory bandwidth (GB/s),
+        from node memory configuration (channels x speed / cores)
+    interconnect_latency_us, interconnect_bw_gb : MPI pingpong-class
+        parameters of the interconnect (SeaStar2 3-D torus / InfiniBand CLOS)
+    """
+
+    name: str
+    total_cores: int
+    ghz: float
+    peak_gflops_per_core: float
+    memory_per_core_gb: float
+    rmax_tflops: float | None
+    stream_bw_gb_per_core: float
+    interconnect_latency_us: float
+    interconnect_bw_gb: float
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.total_cores * self.peak_gflops_per_core / 1000.0
+
+    def __post_init__(self) -> None:
+        if self.total_cores <= 0 or self.peak_gflops_per_core <= 0:
+            raise ValueError(f"invalid machine spec for {self.name}")
+
+
+#: TACC Ranger: 3,936 nodes x 4 sockets x quad-core 2.0 GHz Barcelona;
+#: full-CLOS InfiniBand. 504 Tflops peak, Rmax 326. 16 cores share 4
+#: DDR2-667 memory controllers -> low bandwidth per core.
+RANGER = MachineSpec(
+    name="Ranger",
+    total_cores=62976,
+    ghz=2.0,
+    peak_gflops_per_core=8.0,
+    memory_per_core_gb=2.0,
+    rmax_tflops=326.0,
+    stream_bw_gb_per_core=2.7,
+    interconnect_latency_us=2.3,
+    interconnect_bw_gb=1.0,
+)
+
+#: NERSC Franklin: Cray XT4, dual-core 2.6 GHz Opterons — only two cores
+#: share each node's DDR2 channels, hence the best bandwidth per core.
+FRANKLIN = MachineSpec(
+    name="Franklin",
+    total_cores=19320,
+    ghz=2.6,
+    peak_gflops_per_core=5.2,
+    memory_per_core_gb=2.0,
+    rmax_tflops=85.0,
+    stream_bw_gb_per_core=6.4,
+    interconnect_latency_us=6.0,
+    interconnect_bw_gb=1.8,
+)
+
+#: NICS Kraken: Cray XT4, quad-core 2.3 GHz, 4 GB/node.
+KRAKEN = MachineSpec(
+    name="Kraken",
+    total_cores=18048,
+    ghz=2.3,
+    peak_gflops_per_core=9.2,
+    memory_per_core_gb=1.0,
+    rmax_tflops=None,
+    stream_bw_gb_per_core=4.1,
+    interconnect_latency_us=6.0,
+    interconnect_bw_gb=1.8,
+)
+
+#: ORNL Jaguar: Cray XT4, quad-core 2.1 GHz, 8 GB/node; the paper singles
+#: out its "better memory bandwidth per processor" (DDR2-800 nodes).
+JAGUAR = MachineSpec(
+    name="Jaguar",
+    total_cores=31328,
+    ghz=2.1,
+    peak_gflops_per_core=8.4,
+    memory_per_core_gb=2.0,
+    rmax_tflops=205.0,
+    stream_bw_gb_per_core=4.6,
+    interconnect_latency_us=6.0,
+    interconnect_bw_gb=1.8,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (RANGER, FRANKLIN, KRAKEN, JAGUAR)
+}

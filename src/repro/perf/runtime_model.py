@@ -1,0 +1,78 @@
+"""The total-runtime model (paper Section 5, Figure 7).
+
+The paper's modelling runs showed that "the overall execution time totaled
+for all computation cores is defined by the resolution used and is
+independent of the number of cores used", growing quadratically with
+resolution; the fitted curve predicted a 12K-core NEX=1440 run within 12%.
+
+This module fits the same power law ``T_total(res) = a * res^p`` on
+measured (resolution, all-cores time) samples and provides the
+hold-one-out prediction-error check that mirrors the 12% validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RuntimeFit", "fit_runtime_model", "holdout_prediction_error"]
+
+
+@dataclass(frozen=True)
+class RuntimeFit:
+    """Power law ``T_total(res) = coefficient * res ** exponent``."""
+
+    coefficient: float
+    exponent: float
+    rms_relative_error: float
+
+    def predict(self, resolution: np.ndarray | float) -> np.ndarray | float:
+        res = np.asarray(resolution, dtype=np.float64)
+        out = self.coefficient * res**self.exponent
+        return float(out) if out.ndim == 0 else out
+
+    def normalized(self, resolutions: np.ndarray) -> np.ndarray:
+        """Times normalised to the minimum (Figure 7's y-axis)."""
+        t = self.predict(np.asarray(resolutions, dtype=np.float64))
+        return t / t.min()
+
+
+def fit_runtime_model(
+    resolutions: np.ndarray, total_times_s: np.ndarray
+) -> RuntimeFit:
+    """Log-space least squares of the Figure-7 power law."""
+    res = np.asarray(resolutions, dtype=np.float64)
+    t = np.asarray(total_times_s, dtype=np.float64)
+    if res.size != t.size or res.size < 2:
+        raise ValueError("need >= 2 matching samples")
+    if np.any(res <= 0) or np.any(t <= 0):
+        raise ValueError("samples must be positive")
+    design = np.stack([np.ones_like(res), np.log10(res)], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, np.log10(t), rcond=None)
+    fitted = 10.0 ** (design @ coeffs)
+    rms = float(np.sqrt(np.mean(((fitted - t) / t) ** 2)))
+    return RuntimeFit(
+        coefficient=10.0 ** coeffs[0],
+        exponent=float(coeffs[1]),
+        rms_relative_error=rms,
+    )
+
+
+def holdout_prediction_error(
+    resolutions: np.ndarray, total_times_s: np.ndarray
+) -> float:
+    """Fit on all but the largest resolution, predict it, return |rel error|.
+
+    The analogue of the paper's "within 12%" check of the 12K-core
+    NEX=1440 prediction.
+    """
+    res = np.asarray(resolutions, dtype=np.float64)
+    t = np.asarray(total_times_s, dtype=np.float64)
+    if res.size < 3:
+        raise ValueError("need >= 3 samples for a holdout check")
+    order = np.argsort(res)
+    res, t = res[order], t[order]
+    fit = fit_runtime_model(res[:-1], t[:-1])
+    predicted = fit.predict(res[-1])
+    return abs(predicted - t[-1]) / t[-1]

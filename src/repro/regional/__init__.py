@@ -1,0 +1,14 @@
+"""Regional single-chunk simulations with absorbing boundaries."""
+
+from .absorbing import StaceyBoundary, build_stacey_boundary
+from .mesh import RegionalMesh, build_regional_mesh
+from .solver import RegionalResult, RegionalSolver
+
+__all__ = [
+    "StaceyBoundary",
+    "build_stacey_boundary",
+    "RegionalMesh",
+    "build_regional_mesh",
+    "RegionalResult",
+    "RegionalSolver",
+]

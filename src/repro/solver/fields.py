@@ -1,0 +1,59 @@
+"""Wavefield state containers for the solid and fluid regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SolidField", "FluidField"]
+
+
+@dataclass
+class SolidField:
+    """Displacement / velocity / acceleration on a solid region's globals."""
+
+    displ: np.ndarray
+    veloc: np.ndarray
+    accel: np.ndarray
+
+    @classmethod
+    def zeros(cls, nglob: int) -> "SolidField":
+        return cls(
+            displ=np.zeros((nglob, 3)),
+            veloc=np.zeros((nglob, 3)),
+            accel=np.zeros((nglob, 3)),
+        )
+
+    @property
+    def nglob(self) -> int:
+        return self.displ.shape[0]
+
+    def kinetic_energy(self, mass: np.ndarray) -> float:
+        """0.5 * v^T M v with the diagonal mass matrix."""
+        return 0.5 * float(np.sum(mass[:, None] * self.veloc**2))
+
+
+@dataclass
+class FluidField:
+    """Potential chi and its time derivatives on the fluid region's globals.
+
+    The physical fluid displacement is ``(1/rho) grad(chi)`` and the
+    pressure perturbation is ``-chi_ddot`` (Chaljub & Valette formulation).
+    """
+
+    chi: np.ndarray
+    chi_dot: np.ndarray
+    chi_ddot: np.ndarray
+
+    @classmethod
+    def zeros(cls, nglob: int) -> "FluidField":
+        return cls(
+            chi=np.zeros(nglob),
+            chi_dot=np.zeros(nglob),
+            chi_ddot=np.zeros(nglob),
+        )
+
+    @property
+    def nglob(self) -> int:
+        return self.chi.shape[0]

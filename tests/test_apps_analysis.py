@@ -1,0 +1,128 @@
+"""Tests for the application drivers and the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    arrival_time,
+    relative_l2_misfit,
+    time_shift_crosscorrelation,
+    waveform_summary,
+)
+from repro.apps import (
+    default_source,
+    default_stations,
+    mesh_globe_to_databases,
+    run_global_simulation,
+    run_legacy_two_program,
+)
+from repro.apps.meshfem import main as meshfem_main
+from repro.apps.specfem import main as specfem_main
+from repro.config.parameters import SimulationParameters
+
+
+@pytest.fixture(scope="module")
+def tiny_params():
+    return SimulationParameters(
+        nex_xi=4, nproc_xi=1, ner_crust_mantle=2, ner_outer_core=1,
+        ner_inner_core=1, nstep_override=15,
+    )
+
+
+class TestAnalysis:
+    def test_l2_misfit(self):
+        a = np.sin(np.linspace(0, 10, 100))
+        assert relative_l2_misfit(a, a) == 0.0
+        assert relative_l2_misfit(1.1 * a, a) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_l2_misfit(a, np.zeros_like(a))
+        with pytest.raises(ValueError):
+            relative_l2_misfit(a[:10], a)
+
+    def test_crosscorrelation_shift(self):
+        dt = 0.01
+        t = np.arange(2000) * dt
+        ref = np.exp(-(((t - 5.0) / 0.5) ** 2))
+        obs = np.exp(-(((t - 5.3) / 0.5) ** 2))  # 0.3 s late
+        shift = time_shift_crosscorrelation(obs, ref, dt)
+        assert shift == pytest.approx(0.3, abs=0.01)
+
+    def test_crosscorrelation_invalid(self):
+        with pytest.raises(ValueError):
+            time_shift_crosscorrelation(np.zeros(5), np.zeros(6), 0.1)
+        with pytest.raises(ValueError):
+            time_shift_crosscorrelation(np.zeros(5), np.zeros(5), -1.0)
+
+    def test_arrival_time(self):
+        trace = np.zeros(100)
+        trace[40:] = 1.0
+        assert arrival_time(trace, dt=0.5) == pytest.approx(20.0)
+        assert arrival_time(np.zeros(10), 0.5) is None
+
+    def test_waveform_summary(self):
+        dt = 0.01
+        t = np.arange(1000) * dt
+        trace = np.sin(2 * np.pi * 2.0 * t)  # 2 Hz
+        s = waveform_summary(trace, dt)
+        assert s["dominant_frequency_hz"] == pytest.approx(2.0, abs=0.15)
+        assert s["peak"] == pytest.approx(1.0, abs=5e-3)  # sampled sine peak
+        with pytest.raises(ValueError):
+            waveform_summary(trace, -0.1)
+
+
+class TestMergedApplication:
+    def test_run_produces_seismograms(self, tiny_params):
+        result = run_global_simulation(
+            tiny_params,
+            sources=[default_source()],
+            stations=default_stations(),
+        )
+        assert result.seismograms.shape[0] == 3
+        assert np.all(np.isfinite(result.seismograms))
+        assert result.disk.files == 0  # merged: no intermediate files
+        assert result.mesher_wall_s > 0
+        assert result.solver_wall_s > 0
+
+    def test_legacy_mode_matches_merged(self, tiny_params, tmp_path):
+        source = default_source()
+        stations = default_stations()
+        merged = run_global_simulation(
+            tiny_params, sources=[source], stations=stations
+        )
+        legacy = run_legacy_two_program(
+            tiny_params, tmp_path, sources=[source], stations=stations
+        )
+        # Legacy mode writes 51 files per core and reads them back.
+        assert legacy.disk.files == 2 * 51 * 6
+        assert legacy.disk.bytes > 0
+        # float32 storage degrades materials slightly; waveforms must agree.
+        scale = max(np.abs(merged.seismograms).max(), 1e-300)
+        np.testing.assert_allclose(
+            legacy.seismograms / scale, merged.seismograms / scale, atol=2e-3
+        )
+
+    def test_mesh_globe_to_databases_counts(self, tiny_params, tmp_path):
+        elements, disk = mesh_globe_to_databases(tiny_params, tmp_path)
+        assert disk.files == 51 * 6
+        assert elements == tiny_params.nex_per_slice**2 * 4 * 6 + 4**3
+
+    def test_mesh_globe_no_output(self, tiny_params):
+        elements, disk = mesh_globe_to_databases(tiny_params, None)
+        assert elements > 0
+        assert disk.files == 0
+
+
+class TestCommandLine:
+    def test_meshfem_cli(self, capsys):
+        assert meshfem_main(["--nex", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "spectral elements" in out
+
+    def test_specfem_cli(self, capsys, tmp_path):
+        out_file = tmp_path / "seis.npy"
+        assert specfem_main(
+            ["--nex", "4", "--steps", "5", "--output", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        data = np.load(out_file)
+        assert data.shape[0] == 3

@@ -1,0 +1,83 @@
+"""Unit tests for repro.config.constants."""
+
+import math
+
+import pytest
+
+from repro.config import constants
+
+
+class TestRadii:
+    def test_radial_ordering(self):
+        assert (
+            0
+            < constants.R_ICB_KM
+            < constants.R_CMB_KM
+            < constants.R_670_KM
+            < constants.R_MOHO_KM
+            < constants.R_EARTH_KM
+        )
+
+    def test_prem_boundary_values(self):
+        # Canonical PREM discontinuity radii (km).
+        assert constants.R_CMB_KM == pytest.approx(3480.0)
+        assert constants.R_ICB_KM == pytest.approx(1221.5)
+        assert constants.R_EARTH_KM == pytest.approx(6371.0)
+
+
+class TestDiscretisation:
+    def test_ngll_is_degree_plus_one(self):
+        assert constants.NGLLX == constants.NGLL_DEGREE + 1
+
+    def test_ngll3_is_125(self):
+        assert constants.NGLL3 == 125
+
+    def test_padding_is_128(self):
+        # Paper 4.3: pad 5x5x5 = 125 floats to 128 (2.4% memory waste).
+        assert constants.NGLL3_PADDED == 128
+        waste = constants.NGLL3_PADDED / constants.NGLL3 - 1.0
+        assert waste == pytest.approx(0.024, abs=5e-4)
+
+    def test_six_chunks(self):
+        assert constants.NCHUNKS == 6
+
+
+class TestPeriodResolutionRelation:
+    def test_figure5_caption_relation(self):
+        # Figure 5 caption: Resolution = 256*17 / Wave Period.
+        assert constants.shortest_period_for_nex(256 * 17) == pytest.approx(1.0)
+
+    def test_two_second_barrier_resolution(self):
+        nex = constants.nex_for_shortest_period(2.0)
+        assert nex == 2176
+
+    def test_roundtrip(self):
+        for nex in (96, 144, 288, 320, 512, 640, 1440, 4848):
+            period = constants.shortest_period_for_nex(nex)
+            assert constants.nex_for_shortest_period(period) == nex
+
+    def test_modeling_run_range_matches_paper(self):
+        # Section 5: resolutions 96..640 correspond to periods 45.3s..6.8s.
+        assert constants.shortest_period_for_nex(96) == pytest.approx(45.3, abs=0.05)
+        assert constants.shortest_period_for_nex(640) == pytest.approx(6.8, abs=0.05)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            constants.shortest_period_for_nex(0)
+        with pytest.raises(ValueError):
+            constants.nex_for_shortest_period(-1.0)
+
+
+class TestNonDimensionalisation:
+    def test_time_scale_positive_and_order_of_magnitude(self):
+        # 1/sqrt(pi*G*rho) for Earth ~ 1000 s.
+        assert 500 < constants.TIME_SCALE_S < 2000
+
+    def test_velocity_scale_consistency(self):
+        assert constants.VELOCITY_SCALE_M_S == pytest.approx(
+            constants.R_EARTH_M / constants.TIME_SCALE_S
+        )
+
+    def test_rotation_rate(self):
+        sidereal_day = 2 * math.pi / constants.EARTH_OMEGA
+        assert sidereal_day == pytest.approx(86164.1, rel=1e-4)

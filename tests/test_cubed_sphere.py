@@ -1,0 +1,214 @@
+"""Tests for the gnomonic mapping and slice topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cubed_sphere import (
+    CHUNK_NAMES,
+    NCHUNKS,
+    SliceAddress,
+    SliceGrid,
+    angular_width,
+    chunk_point,
+    chunk_points,
+    chunk_rotation,
+    point_to_chunk,
+)
+
+
+class TestChunkRotations:
+    def test_six_distinct_face_normals(self):
+        normals = [tuple(np.round(chunk_rotation(c)[:, 2], 12)) for c in range(6)]
+        assert len(set(normals)) == 6
+        expected = {
+            (0.0, 0.0, 1.0), (0.0, 0.0, -1.0),
+            (1.0, 0.0, 0.0), (-1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0), (0.0, -1.0, 0.0),
+        }
+        assert set(normals) == expected
+
+    def test_proper_rotations(self):
+        for c in range(6):
+            r = chunk_rotation(c)
+            np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-14)
+            assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_lookup_by_name_and_index_agree(self):
+        for i, name in enumerate(CHUNK_NAMES):
+            np.testing.assert_array_equal(chunk_rotation(i), chunk_rotation(name))
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            chunk_rotation(6)
+        with pytest.raises(ValueError):
+            chunk_rotation("XY")
+
+
+class TestGnomonicMapping:
+    def test_points_on_sphere(self):
+        xi = np.linspace(-angular_width(), angular_width(), 9)
+        for c in range(NCHUNKS):
+            pts = chunk_points(c, xi[:, None], xi[None, :], 1.0)
+            radii = np.linalg.norm(pts, axis=-1)
+            np.testing.assert_allclose(radii, 1.0, atol=1e-14)
+
+    def test_face_centre_is_normal(self):
+        for c in range(NCHUNKS):
+            p = chunk_point(c, 0.0, 0.0, 2.5)
+            np.testing.assert_allclose(p, 2.5 * chunk_rotation(c)[:, 2], atol=1e-14)
+
+    def test_corners_meet_cube_diagonals(self):
+        # All chunk corners lie on the sphere along (+-1,+-1,+-1)/sqrt(3).
+        a = angular_width()
+        corners = set()
+        for c in range(NCHUNKS):
+            for sx in (-a, a):
+                for sy in (-a, a):
+                    p = chunk_point(c, sx, sy, 1.0)
+                    corners.add(tuple(np.round(p * np.sqrt(3.0), 9)))
+        expected = {
+            (float(i), float(j), float(k))
+            for i in (-1, 1) for j in (-1, 1) for k in (-1, 1)
+        }
+        assert corners == expected
+
+    def test_shared_edges_match_between_chunks(self):
+        # Every chunk edge must coincide pointwise with an edge of a
+        # neighbouring chunk: collect all edge points and require each to
+        # appear exactly twice.
+        a = angular_width()
+        t = np.linspace(-a, a, 17)
+        seen: dict[tuple, int] = {}
+        for c in range(NCHUNKS):
+            for edge in (
+                chunk_points(c, t, np.full_like(t, -a), 1.0),
+                chunk_points(c, t, np.full_like(t, a), 1.0),
+                chunk_points(c, np.full_like(t, -a), t, 1.0),
+                chunk_points(c, np.full_like(t, a), t, 1.0),
+            ):
+                for p in edge:
+                    key = tuple(np.round(p, 9))
+                    seen[key] = seen.get(key, 0) + 1
+        # Interior edge points: shared by exactly 2 chunks (1 edge each).
+        # Cube corners: shared by 3 chunks, on 2 edges of each -> count 6.
+        corner_keys = [k for k, v in seen.items() if v == 6]
+        bad = [k for k, v in seen.items() if v not in (2, 6)]
+        assert not bad, f"unmatched chunk-edge points: {bad[:5]}"
+        assert len(corner_keys) == 8
+
+    def test_radius_broadcast(self):
+        pts = chunk_points(0, 0.1, 0.2, np.array([1.0, 2.0, 3.0]))
+        radii = np.linalg.norm(pts, axis=-1)
+        np.testing.assert_allclose(radii, [1.0, 2.0, 3.0])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            chunk_point(0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            chunk_points(0, np.array([0.0]), np.array([0.0]), np.array([-1.0]))
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            c = int(rng.integers(0, 6))
+            xi = float(rng.uniform(-0.7, 0.7)) * angular_width()
+            eta = float(rng.uniform(-0.7, 0.7)) * angular_width()
+            r = float(rng.uniform(0.5, 2.0))
+            p = chunk_point(c, xi, eta, r)
+            c2, xi2, eta2, r2 = point_to_chunk(p)
+            assert c2 == c
+            assert xi2 == pytest.approx(xi, abs=1e-12)
+            assert eta2 == pytest.approx(eta, abs=1e-12)
+            assert r2 == pytest.approx(r, rel=1e-12)
+
+    def test_centre_point_rejected(self):
+        with pytest.raises(ValueError):
+            point_to_chunk(np.zeros(3))
+
+
+class TestSliceGrid:
+    def test_rank_addressing_roundtrip(self):
+        grid = SliceGrid(nproc_xi=3)
+        assert grid.nproc_total == 54
+        for rank in range(grid.nproc_total):
+            assert grid.rank_of(grid.address_of(rank)) == rank
+
+    def test_paper_62k_grid(self):
+        grid = SliceGrid(nproc_xi=102)
+        assert grid.nproc_total == 62424  # the "62K processors" decomposition
+
+    def test_out_of_range_rank(self):
+        grid = SliceGrid(2)
+        with pytest.raises(ValueError):
+            grid.address_of(24)
+        with pytest.raises(ValueError):
+            grid.rank_of(SliceAddress(0, 2, 0))
+
+    def test_slice_bounds_tile_chunk_exactly(self):
+        grid = SliceGrid(4)
+        a = angular_width()
+        for chunk in range(1):
+            xs = set()
+            for i in range(4):
+                b = grid.slice_angular_bounds(SliceAddress(chunk, i, 0))
+                xs.add((round(b[0], 12), round(b[1], 12)))
+            sorted_xs = sorted(xs)
+            assert sorted_xs[0][0] == pytest.approx(-a)
+            assert sorted_xs[-1][1] == pytest.approx(a)
+            for (lo1, hi1), (lo2, _hi2) in zip(sorted_xs, sorted_xs[1:]):
+                assert hi1 == pytest.approx(lo2)
+
+    def test_slice_coordinates_endpoints(self):
+        grid = SliceGrid(2)
+        addr = SliceAddress(0, 1, 0)
+        xi, eta = grid.slice_coordinates_1d(addr, 4)
+        assert xi.size == 5 and eta.size == 5
+        assert xi[0] == pytest.approx(0.0)
+        assert xi[-1] == pytest.approx(angular_width())
+
+    def test_intra_chunk_neighbors_interior(self):
+        grid = SliceGrid(3)
+        nbrs = grid.intra_chunk_neighbors(SliceAddress(2, 1, 1))
+        assert set(nbrs) == {"xi_minus", "xi_plus", "eta_minus", "eta_plus"}
+        assert all(a.chunk == 2 for a in nbrs.values())
+
+    def test_intra_chunk_neighbors_corner(self):
+        grid = SliceGrid(3)
+        nbrs = grid.intra_chunk_neighbors(SliceAddress(0, 0, 0))
+        assert set(nbrs) == {"xi_plus", "eta_plus"}
+
+    def test_boundary_slice_count(self):
+        assert SliceGrid(1).boundary_slice_count() == 6
+        assert SliceGrid(2).boundary_slice_count() == 24
+        assert SliceGrid(3).boundary_slice_count() == 6 * 8
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            SliceGrid(0)
+
+
+@settings(max_examples=30)
+@given(
+    nproc=st.integers(min_value=1, max_value=12),
+    rank_frac=st.floats(min_value=0.0, max_value=0.999),
+)
+def test_property_rank_roundtrip(nproc, rank_frac):
+    grid = SliceGrid(nproc)
+    rank = int(rank_frac * grid.nproc_total)
+    addr = grid.address_of(rank)
+    assert grid.rank_of(addr) == rank
+    assert 0 <= addr.chunk < 6
+    assert 0 <= addr.iproc_xi < nproc
+    assert 0 <= addr.iproc_eta < nproc
+
+
+@settings(max_examples=30)
+@given(
+    xi=st.floats(min_value=-0.785, max_value=0.785),
+    eta=st.floats(min_value=-0.785, max_value=0.785),
+    chunk=st.integers(min_value=0, max_value=5),
+)
+def test_property_mapping_preserves_radius(xi, eta, chunk):
+    p = chunk_point(chunk, xi, eta, 1.37)
+    assert np.linalg.norm(p) == pytest.approx(1.37, rel=1e-12)

@@ -1,0 +1,238 @@
+"""Unit and property tests for the GLL machinery (quadrature, bases)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gll import (
+    GLLBasis,
+    derivative_matrix,
+    derivative_matrix_weighted,
+    gll_points_and_weights,
+    interpolate_at_point,
+    interpolation_weights_3d,
+    lagrange_basis,
+    lagrange_basis_derivative,
+    legendre,
+    legendre_derivative,
+    nearest_gll_index,
+)
+
+
+class TestLegendre:
+    def test_low_degrees_explicit(self):
+        x = np.linspace(-1, 1, 11)
+        np.testing.assert_allclose(legendre(0, x), np.ones_like(x))
+        np.testing.assert_allclose(legendre(1, x), x)
+        np.testing.assert_allclose(legendre(2, x), 0.5 * (3 * x**2 - 1), atol=1e-14)
+        np.testing.assert_allclose(
+            legendre(3, x), 0.5 * (5 * x**3 - 3 * x), atol=1e-14
+        )
+
+    def test_derivative_matches_finite_difference(self):
+        x = np.linspace(-0.95, 0.95, 21)
+        h = 1e-6
+        for n in range(1, 8):
+            fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h)
+            np.testing.assert_allclose(legendre_derivative(n, x), fd, atol=1e-6)
+
+    def test_derivative_at_endpoints(self):
+        # P'_n(1) = n(n+1)/2 ; P'_n(-1) = (-1)^(n-1) n(n+1)/2.
+        for n in range(1, 9):
+            assert legendre_derivative(n, np.array(1.0)) == pytest.approx(
+                n * (n + 1) / 2
+            )
+            assert legendre_derivative(n, np.array(-1.0)) == pytest.approx(
+                (-1) ** (n - 1) * n * (n + 1) / 2
+            )
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ValueError):
+            legendre(-1, 0.0)
+        with pytest.raises(ValueError):
+            legendre_derivative(-2, 0.0)
+
+
+class TestGLLQuadrature:
+    def test_ngll5_known_values(self):
+        # Degree-4 GLL nodes: 0, +-sqrt(3/7), +-1; weights 32/45 etc.
+        x, w = gll_points_and_weights(5)
+        np.testing.assert_allclose(
+            x, [-1.0, -np.sqrt(3 / 7), 0.0, np.sqrt(3 / 7), 1.0], atol=1e-14
+        )
+        np.testing.assert_allclose(
+            w, [1 / 10, 49 / 90, 32 / 45, 49 / 90, 1 / 10], atol=1e-14
+        )
+
+    def test_includes_endpoints(self):
+        for ngll in range(2, 12):
+            x, _ = gll_points_and_weights(ngll)
+            assert x[0] == -1.0 and x[-1] == 1.0
+
+    def test_symmetry(self):
+        for ngll in range(2, 12):
+            x, w = gll_points_and_weights(ngll)
+            np.testing.assert_allclose(x, -x[::-1], atol=1e-15)
+            np.testing.assert_allclose(w, w[::-1], atol=1e-15)
+
+    def test_weights_sum_to_two(self):
+        for ngll in range(2, 12):
+            _, w = gll_points_and_weights(ngll)
+            assert w.sum() == pytest.approx(2.0, abs=1e-13)
+
+    def test_exactness_up_to_2n_minus_1(self):
+        # (n+1)-point GLL integrates x^k exactly for k <= 2n-1 = 2*ngll-3.
+        for ngll in (3, 5, 7):
+            x, w = gll_points_and_weights(ngll)
+            for k in range(2 * ngll - 2):
+                exact = 2.0 / (k + 1) if k % 2 == 0 else 0.0
+                assert np.dot(w, x**k) == pytest.approx(exact, abs=1e-12), (ngll, k)
+
+    def test_not_exact_beyond(self):
+        ngll = 5
+        x, w = gll_points_and_weights(ngll)
+        k = 2 * ngll - 2  # degree 8 > 2n-1 = 7
+        assert abs(np.dot(w, x**k) - 2.0 / (k + 1)) > 1e-6
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            gll_points_and_weights(1)
+
+    def test_cached_arrays_readonly(self):
+        x, w = gll_points_and_weights(5)
+        with pytest.raises(ValueError):
+            x[0] = 0.0
+        with pytest.raises(ValueError):
+            w[0] = 0.0
+
+
+class TestLagrange:
+    def test_cardinal_property(self):
+        nodes, _ = gll_points_and_weights(5)
+        for j, xj in enumerate(nodes):
+            vals = lagrange_basis(nodes, xj)
+            expected = np.zeros(5)
+            expected[j] = 1.0
+            np.testing.assert_allclose(vals, expected, atol=1e-13)
+
+    def test_partition_of_unity(self):
+        nodes, _ = gll_points_and_weights(6)
+        for x in np.linspace(-1, 1, 17):
+            assert lagrange_basis(nodes, x).sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_derivative_sum_zero(self):
+        nodes, _ = gll_points_and_weights(6)
+        for x in np.linspace(-1, 1, 17):
+            assert lagrange_basis_derivative(nodes, x).sum() == pytest.approx(
+                0.0, abs=1e-11
+            )
+
+
+class TestDerivativeMatrix:
+    def test_differentiates_polynomials_exactly(self):
+        for ngll in (3, 5, 8):
+            x, _ = gll_points_and_weights(ngll)
+            h = derivative_matrix(ngll)
+            for k in range(ngll):
+                deriv = h @ (x**k)
+                expected = k * x ** (k - 1) if k > 0 else np.zeros(ngll)
+                np.testing.assert_allclose(deriv, expected, atol=1e-10)
+
+    def test_row_sums_zero(self):
+        for ngll in (3, 5, 8):
+            h = derivative_matrix(ngll)
+            np.testing.assert_allclose(h.sum(axis=1), 0.0, atol=1e-13)
+
+    def test_weighted_matrix_definition(self):
+        ngll = 5
+        _, w = gll_points_and_weights(ngll)
+        h = derivative_matrix(ngll)
+        hw = derivative_matrix_weighted(ngll)
+        np.testing.assert_allclose(hw, w[:, None] * h, atol=1e-15)
+
+    def test_summation_by_parts(self):
+        # GLL exactness gives exact integration by parts for polynomials:
+        # integral(f' g) + integral(f g') = [f g] for deg f + deg g <= 2n-1.
+        ngll = 5
+        x, w = gll_points_and_weights(ngll)
+        h = derivative_matrix(ngll)
+        f = x**3
+        g = x**2 + x
+        lhs = np.dot(w, (h @ f) * g) + np.dot(w, f * (h @ g))
+        rhs = f[-1] * g[-1] - f[0] * g[0]
+        assert lhs == pytest.approx(rhs, abs=1e-12)
+
+
+class TestGLLBasis:
+    def test_bundle_shapes(self):
+        b = GLLBasis(5)
+        assert b.xi.shape == (5,)
+        assert b.hprime.shape == (5, 5)
+        assert b.hprime_wgll.shape == (5, 5)
+        assert b.wgll3.shape == (5, 5, 5)
+
+    def test_wgll3_integrates_unit_cube(self):
+        b = GLLBasis(5)
+        assert b.wgll3.sum() == pytest.approx(8.0, abs=1e-12)
+
+
+class TestInterpolation:
+    def test_weights_reproduce_nodal_values(self):
+        nodes, _ = gll_points_and_weights(5)
+        w = interpolation_weights_3d(5, nodes[2], nodes[1], nodes[4])
+        expected = np.zeros((5, 5, 5))
+        expected[2, 1, 4] = 1.0
+        np.testing.assert_allclose(w, expected, atol=1e-12)
+
+    def test_exact_for_trilinear_field(self):
+        nodes, _ = gll_points_and_weights(5)
+        X, Y, Z = np.meshgrid(nodes, nodes, nodes, indexing="ij")
+        field = 2.0 + X - 3.0 * Y + 0.5 * Z + X * Y * Z
+        val = interpolate_at_point(field, 0.3, -0.7, 0.1)
+        expected = 2.0 + 0.3 - 3.0 * (-0.7) + 0.5 * 0.1 + 0.3 * (-0.7) * 0.1
+        assert val == pytest.approx(expected, abs=1e-12)
+
+    def test_vector_field_interpolation(self):
+        nodes, _ = gll_points_and_weights(5)
+        X = np.meshgrid(nodes, nodes, nodes, indexing="ij")[0]
+        field = np.stack([X, 2 * X, 3 * X], axis=-1)
+        out = interpolate_at_point(field, 0.25, 0.0, 0.0)
+        np.testing.assert_allclose(out, [0.25, 0.5, 0.75], atol=1e-12)
+
+    def test_outside_reference_cube_raises(self):
+        field = np.zeros((5, 5, 5))
+        with pytest.raises(ValueError):
+            interpolate_at_point(field, 1.5, 0.0, 0.0)
+
+    def test_nearest_gll_index(self):
+        assert nearest_gll_index(5, -1.0, 1.0, 0.0) == (0, 4, 2)
+        assert nearest_gll_index(5, -0.9, 0.9, 0.05) == (0, 4, 2)
+
+
+@settings(max_examples=50)
+@given(
+    coeffs=st.lists(
+        st.floats(min_value=-5, max_value=5), min_size=1, max_size=5
+    ),
+)
+def test_property_quadrature_exact_for_random_polynomials(coeffs):
+    """GLL(5) integrates any polynomial of degree <= 7 exactly."""
+    x, w = gll_points_and_weights(5)
+    poly = np.polynomial.Polynomial(coeffs)
+    integral = poly.integ()
+    exact = integral(1.0) - integral(-1.0)
+    assert np.dot(w, poly(x)) == pytest.approx(exact, abs=1e-10)
+
+
+@settings(max_examples=50)
+@given(
+    point=st.tuples(
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=-1, max_value=1),
+    )
+)
+def test_property_interpolation_weights_sum_to_one(point):
+    """Lagrange tensor weights always form a partition of unity."""
+    w = interpolation_weights_3d(5, *point)
+    assert w.sum() == pytest.approx(1.0, abs=1e-10)

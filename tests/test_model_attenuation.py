@@ -1,0 +1,106 @@
+"""Tests for the SLS constant-Q fitting machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import fit_constant_q, q_of_omega
+
+
+class TestFitConstantQ:
+    def test_fit_accuracy_one_decade(self):
+        fit = fit_constant_q(q_target=300.0, f_min=0.01, f_max=0.1, n_sls=3)
+        freqs = np.geomspace(0.01, 0.1, 50)
+        q = fit.q_at(freqs)
+        np.testing.assert_allclose(q, 300.0, rtol=0.06)
+
+    def test_fit_accuracy_low_q(self):
+        # Q=80 (PREM low-velocity zone) is the strongest mantle attenuation.
+        fit = fit_constant_q(q_target=80.0, f_min=0.05, f_max=0.5, n_sls=3)
+        freqs = np.geomspace(0.05, 0.5, 50)
+        np.testing.assert_allclose(fit.q_at(freqs), 80.0, rtol=0.06)
+
+    def test_more_sls_fit_better(self):
+        def max_rel_err(n):
+            fit = fit_constant_q(200.0, 0.01, 1.0, n_sls=n)
+            freqs = np.geomspace(0.01, 1.0, 80)
+            return np.max(np.abs(fit.q_at(freqs) - 200.0) / 200.0)
+
+        assert max_rel_err(5) < max_rel_err(2)
+
+    def test_coefficients_nonnegative(self):
+        fit = fit_constant_q(100.0, 0.02, 0.2)
+        assert np.all(fit.y >= 0.0)
+
+    def test_modulus_defect_small_for_high_q(self):
+        weak = fit_constant_q(1000.0, 0.01, 0.1)
+        strong = fit_constant_q(50.0, 0.01, 0.1)
+        assert weak.y.sum() < strong.y.sum()
+        assert 0.0 < weak.one_minus_sum_beta <= 1.0
+
+    def test_tau_span_band(self):
+        fit = fit_constant_q(300.0, 0.01, 0.1, n_sls=3)
+        f_relax = 1.0 / (2 * np.pi * fit.tau_sigma)
+        assert f_relax.min() == pytest.approx(0.01, rel=1e-9)
+        assert f_relax.max() == pytest.approx(0.1, rel=1e-9)
+
+    def test_single_sls_centre(self):
+        fit = fit_constant_q(300.0, 0.01, 0.1, n_sls=1)
+        f_relax = 1.0 / (2 * np.pi * fit.tau_sigma[0])
+        assert f_relax == pytest.approx(np.sqrt(0.01 * 0.1), rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fit_constant_q(-5.0, 0.01, 0.1)
+        with pytest.raises(ValueError):
+            fit_constant_q(100.0, 0.1, 0.01)
+        with pytest.raises(ValueError):
+            fit_constant_q(100.0, 0.01, 0.1, n_sls=0)
+
+
+class TestMemoryCoefficients:
+    def test_alpha_decay(self):
+        fit = fit_constant_q(300.0, 0.01, 0.1)
+        alpha, beta, gamma = fit.memory_update_coefficients(dt=0.5)
+        assert np.all((alpha > 0) & (alpha < 1))
+        np.testing.assert_allclose(beta, gamma)
+        np.testing.assert_allclose(alpha + beta + gamma, 1.0)
+
+    def test_dt_limit_zero(self):
+        fit = fit_constant_q(300.0, 0.01, 0.1)
+        alpha, beta, gamma = fit.memory_update_coefficients(dt=1e-9)
+        np.testing.assert_allclose(alpha, 1.0, atol=1e-6)
+        np.testing.assert_allclose(beta, 0.0, atol=1e-6)
+
+    def test_invalid_dt(self):
+        fit = fit_constant_q(300.0, 0.01, 0.1)
+        with pytest.raises(ValueError):
+            fit.memory_update_coefficients(0.0)
+
+
+class TestQOfOmega:
+    def test_zero_frequency_no_loss(self):
+        tau = np.array([1.0])
+        y = np.array([0.01])
+        assert q_of_omega(np.array(0.0), tau, y) == np.inf
+
+    def test_peak_loss_at_relaxation_frequency(self):
+        tau = np.array([2.0])
+        y = np.array([0.02])
+        omegas = np.linspace(0.01, 5.0, 500)
+        q = q_of_omega(omegas, tau, y)
+        w_min = omegas[np.argmin(q)]
+        assert w_min == pytest.approx(1.0 / 2.0, rel=0.02)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    q=st.floats(min_value=50.0, max_value=5000.0),
+    f_centre=st.floats(min_value=1e-3, max_value=1.0),
+)
+def test_property_fit_is_reasonable_everywhere(q, f_centre):
+    """Fitted Q never undershoots the target by more than ~10% in-band."""
+    fit = fit_constant_q(q, f_centre / 3.0, f_centre * 3.0, n_sls=3)
+    freqs = np.geomspace(f_centre / 3.0, f_centre * 3.0, 30)
+    achieved = fit.q_at(freqs)
+    assert np.all(achieved > 0.85 * q)

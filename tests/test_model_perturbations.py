@@ -1,0 +1,107 @@
+"""Tests for the synthetic tomography model and ellipticity profile."""
+
+import numpy as np
+import pytest
+
+from repro.config import constants
+from repro.model import EllipticityProfile, SyntheticTomography
+
+
+class TestSyntheticTomography:
+    def test_deterministic_for_seed(self):
+        a = SyntheticTomography(seed=1)
+        b = SyntheticTomography(seed=1)
+        pts = np.random.default_rng(0).uniform(-4000, 4000, (20, 3))
+        np.testing.assert_array_equal(
+            a.dv_over_v(pts[:, 0], pts[:, 1], pts[:, 2]),
+            b.dv_over_v(pts[:, 0], pts[:, 1], pts[:, 2]),
+        )
+
+    def test_different_seeds_differ(self):
+        a = SyntheticTomography(seed=1)
+        b = SyntheticTomography(seed=2)
+        x, y, z = np.array([5000.0]), np.array([1000.0]), np.array([2000.0])
+        assert a.dv_over_v(x, y, z)[0] != b.dv_over_v(x, y, z)[0]
+
+    def test_zero_in_core(self):
+        tomo = SyntheticTomography()
+        # Points inside the CMB must be unperturbed.
+        x = np.array([1000.0, 2000.0, 0.0])
+        y = np.array([0.0, 500.0, 1200.0])
+        z = np.array([0.0, 100.0, 0.0])
+        np.testing.assert_array_equal(tomo.dv_over_v(x, y, z), 0.0)
+
+    def test_amplitude_bounded(self):
+        tomo = SyntheticTomography(amplitude=0.02, seed=3)
+        rng = np.random.default_rng(1)
+        direction = rng.normal(size=(500, 3))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        r = rng.uniform(constants.R_CMB_KM, constants.R_EARTH_KM, (500, 1))
+        pts = direction * r
+        dv = tomo.dv_over_v(pts[:, 0], pts[:, 1], pts[:, 2])
+        assert np.max(np.abs(dv)) <= 0.02 + 1e-12
+        assert np.max(np.abs(dv)) > 1e-4  # not identically zero
+
+    def test_perturb_scaling(self):
+        tomo = SyntheticTomography(seed=5)
+        x = np.array([0.0])
+        y = np.array([0.0])
+        z = np.array([5500.0])
+        v = np.array([1000.0])
+        full = tomo.perturb(v, x, y, z, scale=1.0)
+        half = tomo.perturb(v, x, y, z, scale=0.5)
+        assert abs(half[0] - 1000.0) == pytest.approx(
+            0.5 * abs(full[0] - 1000.0), rel=1e-12
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticTomography(l_max=0)
+        with pytest.raises(ValueError):
+            SyntheticTomography(amplitude=0.7)
+
+
+class TestEllipticityProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return EllipticityProfile(n_radii=200)
+
+    def test_surface_value(self, profile):
+        assert profile.epsilon(constants.R_EARTH_KM) == pytest.approx(
+            1.0 / 299.8, rel=1e-6
+        )
+
+    def test_monotone_increasing_outward(self, profile):
+        radii = np.linspace(100.0, constants.R_EARTH_KM, 50)
+        eps = profile.epsilon(radii)
+        assert np.all(np.diff(eps) >= -1e-12)
+
+    def test_centre_value_physical(self, profile):
+        # Hydrostatic theory: central flattening ~1/420 .. 1/390.
+        eps0 = profile.epsilon(0.0)
+        assert 1.0 / 450.0 < eps0 < 1.0 / 350.0
+
+    def test_flattening_moves_poles_in_equator_out(self, profile):
+        pole = profile.apply_to_points(np.array([0.0, 0.0, 6371.0]))
+        equator = profile.apply_to_points(np.array([6371.0, 0.0, 0.0]))
+        assert np.linalg.norm(pole) < 6371.0
+        assert np.linalg.norm(equator) > 6371.0
+
+    def test_equatorial_polar_difference(self, profile):
+        # a - c ~ 21 km for the hydrostatic figure (observed: 21.4 km).
+        pole = np.linalg.norm(profile.apply_to_points(np.array([0.0, 0.0, 6371.0])))
+        equ = np.linalg.norm(profile.apply_to_points(np.array([6371.0, 0.0, 0.0])))
+        assert (equ - pole) == pytest.approx(21.3, abs=1.0)
+
+    def test_volume_preserving_first_order(self, profile):
+        # The P2 flattening preserves mean radius: sample a shell.
+        rng = np.random.default_rng(3)
+        d = rng.normal(size=(2000, 3))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        pts = profile.apply_to_points(d * 6000.0)
+        mean_r = np.linalg.norm(pts, axis=1).mean()
+        assert mean_r == pytest.approx(6000.0, rel=2e-4)
+
+    def test_invalid_sampling(self):
+        with pytest.raises(ValueError):
+            EllipticityProfile(n_radii=5)

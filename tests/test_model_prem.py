@@ -1,0 +1,154 @@
+"""Tests for the PREM model, gravity, and region helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import constants
+from repro.model import PREM, RegionCode
+
+
+class TestPremValues:
+    """Spot checks against published PREM values."""
+
+    def test_density_centre(self):
+        # PREM central density: 13.0885 g/cm^3.
+        assert PREM.density(0.0) == pytest.approx(13088.5)
+
+    def test_density_surface_crust(self):
+        assert PREM.density(6370.0) == pytest.approx(2600.0)
+
+    def test_vp_centre(self):
+        assert PREM.vp(0.0) == pytest.approx(11262.2)
+
+    def test_vs_zero_in_outer_core(self):
+        for r in (1500.0, 2000.0, 3000.0, 3400.0):
+            assert PREM.vs(r) == 0.0
+
+    def test_vs_nonzero_in_inner_core_and_mantle(self):
+        assert PREM.vs(600.0) > 3000.0
+        assert PREM.vs(5000.0) > 6000.0
+
+    def test_icb_density_jump(self):
+        below = PREM.density(constants.R_ICB_KM, side="below")
+        above = PREM.density(constants.R_ICB_KM, side="above")
+        # PREM: 12.7636 (inner core top) vs 12.1663 (outer core bottom) g/cm^3.
+        assert below == pytest.approx(12763.6, rel=1e-3)
+        assert above == pytest.approx(12166.3, rel=1e-3)
+
+    def test_cmb_density_jump(self):
+        below = PREM.density(constants.R_CMB_KM, side="below")
+        above = PREM.density(constants.R_CMB_KM, side="above")
+        # PREM: 9.9035 (outer core top) vs 5.5665 (mantle bottom) g/cm^3.
+        assert below == pytest.approx(9903.5, rel=1e-3)
+        assert above == pytest.approx(5566.5, rel=1e-3)
+
+    def test_vp_cmb_jump(self):
+        # Outer core top ~8.06 km/s, mantle bottom ~13.72 km/s.
+        assert PREM.vp(constants.R_CMB_KM, side="below") == pytest.approx(
+            8064.8, rel=2e-3
+        )
+        assert PREM.vp(constants.R_CMB_KM, side="above") == pytest.approx(
+            13716.6, rel=2e-3
+        )
+
+    def test_q_values(self):
+        assert PREM.q_mu(1000.0) == pytest.approx(84.6)
+        assert PREM.q_kappa(1000.0) == pytest.approx(1327.7)
+        assert PREM.q_mu(4000.0) == pytest.approx(312.0)
+        assert PREM.q_mu(6200.0) == pytest.approx(80.0)  # low-velocity zone
+
+    def test_moduli_positive(self):
+        kappa, mu = PREM.moduli(np.array([500.0, 2000.0, 5000.0, 6300.0]))
+        assert np.all(kappa > 0)
+        assert mu[1] == 0.0  # fluid outer core
+        assert mu[0] > 0 and mu[2] > 0
+
+    def test_vectorised_matches_scalar(self):
+        radii = np.array([100.0, 1221.5, 3480.0, 5000.0, 6371.0])
+        vec = PREM.density(radii)
+        scal = [PREM.density(float(r)) for r in radii]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            PREM.density(7000.0)
+        with pytest.raises(ValueError):
+            PREM.density(-1.0)
+
+
+class TestRegions:
+    def test_region_codes(self):
+        assert PREM.region_of(500.0) == RegionCode.INNER_CORE
+        assert PREM.region_of(2000.0) == RegionCode.OUTER_CORE
+        assert PREM.region_of(5000.0) == RegionCode.CRUST_MANTLE
+
+    def test_fluid_flag(self):
+        assert PREM.is_fluid(2000.0)
+        assert not PREM.is_fluid(500.0)
+        assert not PREM.is_fluid(5000.0)
+
+    def test_interfaces(self):
+        icb, cmb = PREM.region_interface_radii_km()
+        assert icb == constants.R_ICB_KM
+        assert cmb == constants.R_CMB_KM
+
+    def test_discontinuity_list_sorted(self):
+        d = PREM.discontinuities_km()
+        assert d == sorted(d)
+        assert constants.R_670_KM in d
+
+
+class TestMassAndGravity:
+    def test_total_mass(self):
+        # PREM integrates to the Earth's mass ~5.97e24 kg.
+        mass = PREM.enclosed_mass_kg(constants.R_EARTH_KM)
+        assert mass == pytest.approx(5.97e24, rel=0.01)
+
+    def test_mass_monotone(self):
+        radii = np.linspace(100, 6371, 30)
+        masses = [PREM.enclosed_mass_kg(float(r)) for r in radii]
+        assert all(m2 > m1 for m1, m2 in zip(masses, masses[1:]))
+
+    def test_surface_gravity(self):
+        assert PREM.gravity(constants.R_EARTH_KM) == pytest.approx(9.81, abs=0.05)
+
+    def test_gravity_zero_at_centre(self):
+        assert PREM.gravity(0.0) == 0.0
+
+    def test_gravity_peak_near_cmb(self):
+        # g(r) for PREM peaks at ~10.7 m/s^2 near the CMB.
+        g_cmb = PREM.gravity(constants.R_CMB_KM)
+        assert g_cmb == pytest.approx(10.7, abs=0.2)
+        assert g_cmb > PREM.gravity(constants.R_EARTH_KM)
+
+    @settings(max_examples=25, deadline=None)
+    @given(r=st.floats(min_value=1.0, max_value=6371.0))
+    def test_property_gravity_positive_inside(self, r):
+        assert PREM.gravity(r) > 0.0
+
+
+class TestLayerStructure:
+    def test_layers_contiguous(self):
+        for lower, upper in zip(PREM.layers, PREM.layers[1:]):
+            assert lower.r_top_km == pytest.approx(upper.r_bottom_km)
+
+    def test_layers_span_earth(self):
+        assert PREM.layers[0].r_bottom_km == 0.0
+        assert PREM.layers[-1].r_top_km == constants.R_EARTH_KM
+
+    def test_exactly_one_fluid_layer(self):
+        fluid = [l for l in PREM.layers if l.is_fluid]
+        assert len(fluid) == 1
+        assert fluid[0].name == "outer_core"
+
+    @settings(max_examples=40, deadline=None)
+    @given(r=st.floats(min_value=0.0, max_value=6371.0))
+    def test_property_physical_bounds(self, r):
+        rho = PREM.density(r)
+        vp = PREM.vp(r)
+        vs = PREM.vs(r)
+        assert 1000.0 < rho < 14000.0
+        assert 1000.0 < vp < 14000.0
+        assert 0.0 <= vs < 8000.0
+        assert vp > vs

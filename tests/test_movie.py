@@ -1,0 +1,75 @@
+"""Tests for the surface movie recorder and solver callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.config import constants
+from repro.config.parameters import SimulationParameters
+from repro.mesh import build_global_mesh
+from repro.solver import (
+    GlobalSolver,
+    MomentTensorSource,
+    SurfaceMovieRecorder,
+    gaussian_stf,
+)
+
+
+@pytest.fixture(scope="module")
+def solver_and_params():
+    params = SimulationParameters(
+        nex_xi=4, nproc_xi=1, ner_crust_mantle=2, ner_outer_core=1,
+        ner_inner_core=1, nstep_override=12,
+    )
+    mesh = build_global_mesh(params)
+    source = MomentTensorSource(
+        position=(0.0, 0.0, constants.R_EARTH_KM - 150.0),
+        moment=1e20 * np.eye(3), stf=gaussian_stf(8.0), time_shift=2.0,
+    )
+    solver = GlobalSolver(mesh, params, sources=[source])
+    return solver, params
+
+
+class TestSurfaceMovie:
+    def test_frames_recorded_at_interval(self, solver_and_params):
+        solver, _ = solver_and_params
+        movie = SurfaceMovieRecorder(solver, every=4)
+        solver.run(n_steps=12, callbacks=[movie.on_step])
+        assert movie.n_frames == 3  # steps 0, 4, 8
+        assert movie.frame_steps == [0, 4, 8]
+        for frame in movie.frames:
+            assert frame.shape == (movie.point_ids.size, 3)
+            assert np.all(np.isfinite(frame))
+
+    def test_surface_point_count(self, solver_and_params):
+        solver, params = solver_and_params
+        movie = SurfaceMovieRecorder(solver, every=5)
+        # Closed quad-sphere: 6 nex^2 faces of (n-1)^2 cells -> F(n-1)^2 + 2.
+        ncells = 6 * params.nex_xi**2 * 16
+        assert movie.point_ids.size == ncells + 2
+
+    def test_vtk_series_written(self, solver_and_params, tmp_path):
+        solver, _ = solver_and_params
+        movie = SurfaceMovieRecorder(solver, every=6)
+        solver.run(n_steps=12, callbacks=[movie.on_step])
+        files = movie.write_vtk_series(tmp_path / "movie")
+        assert len(files) == movie.n_frames
+        text = files[0].read_text()
+        assert "VECTORS displacement double" in text
+        assert "SCALARS magnitude double 1" in text
+
+    def test_empty_series_rejected(self, solver_and_params, tmp_path):
+        solver, _ = solver_and_params
+        movie = SurfaceMovieRecorder(solver, every=3)
+        with pytest.raises(ValueError):
+            movie.write_vtk_series(tmp_path)
+
+    def test_invalid_interval(self, solver_and_params):
+        solver, _ = solver_and_params
+        with pytest.raises(ValueError):
+            SurfaceMovieRecorder(solver, every=0)
+
+    def test_generic_callback_invoked(self, solver_and_params):
+        solver, _ = solver_and_params
+        seen = []
+        solver.run(n_steps=5, callbacks=[lambda step, s: seen.append(step)])
+        assert seen == [0, 1, 2, 3, 4]

@@ -1,0 +1,101 @@
+"""Tests for synthetic topography and its mesh deformation."""
+
+import numpy as np
+import pytest
+
+from repro.config import constants
+from repro.config.parameters import SimulationParameters
+from repro.model import SyntheticTopography
+from repro.model.prem import RegionCode
+
+
+class TestSyntheticTopography:
+    def test_deterministic(self):
+        a = SyntheticTopography(seed=2)
+        b = SyntheticTopography(seed=2)
+        x = np.array([4000.0, -2000.0])
+        y = np.array([1000.0, 3000.0])
+        z = np.array([4500.0, -4000.0])
+        np.testing.assert_array_equal(
+            a.elevation_km(x, y, z), b.elevation_km(x, y, z)
+        )
+
+    def test_peak_normalisation(self):
+        topo = SyntheticTopography(peak_km=6.0, seed=5)
+        rng = np.random.default_rng(0)
+        d = rng.normal(size=(4000, 3))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        h = topo.elevation_km(d[:, 0], d[:, 1], d[:, 2])
+        assert np.abs(h).max() <= 6.0 + 1e-9
+        assert np.abs(h).max() > 3.0  # normalised to the peak
+
+    def test_elevation_independent_of_radius(self):
+        topo = SyntheticTopography()
+        d = np.array([0.3, -0.5, 0.81])
+        h1 = topo.elevation_km(*(d * 1000.0))
+        h2 = topo.elevation_km(*(d * 6371.0))
+        assert h1 == pytest.approx(h2, abs=1e-12)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SyntheticTopography(l_max=0)
+        with pytest.raises(ValueError):
+            SyntheticTopography(peak_km=100.0)
+
+
+class TestMeshDeformation:
+    def test_surface_moves_cmb_fixed(self):
+        topo = SyntheticTopography(peak_km=6.0, seed=1)
+        d = np.array([0.6, 0.64, 0.48])
+        d /= np.linalg.norm(d)
+        surface = topo.apply_to_points(d * constants.R_EARTH_KM)
+        cmb = topo.apply_to_points(d * constants.R_CMB_KM)
+        core = topo.apply_to_points(d * 2000.0)
+        h = topo.elevation_km(*d)
+        assert np.linalg.norm(surface) == pytest.approx(
+            constants.R_EARTH_KM + h, abs=1e-9
+        )
+        assert np.linalg.norm(cmb) == pytest.approx(constants.R_CMB_KM, abs=1e-9)
+        assert np.linalg.norm(core) == pytest.approx(2000.0, abs=1e-12)
+
+    def test_mesher_integration(self):
+        params = SimulationParameters(
+            nex_xi=4, nproc_xi=1, ner_crust_mantle=2, ner_outer_core=1,
+            ner_inner_core=1, topography=True,
+        )
+        from repro.mesh import build_slice_mesh
+
+        flat = build_slice_mesh(params.with_updates(topography=False))
+        bumpy = build_slice_mesh(params)
+        cm_flat = flat.regions[RegionCode.CRUST_MANTLE].radii()
+        cm_bumpy = bumpy.regions[RegionCode.CRUST_MANTLE].radii()
+        # Surface radii vary by up to the peak elevation.
+        assert np.abs(cm_bumpy - cm_flat).max() > 1.0
+        assert np.abs(cm_bumpy - cm_flat).max() < 10.0
+        # The cores are untouched.
+        np.testing.assert_array_equal(
+            flat.regions[RegionCode.OUTER_CORE].xyz,
+            bumpy.regions[RegionCode.OUTER_CORE].xyz,
+        )
+
+    def test_solver_runs_with_topography_and_ellipticity(self):
+        from repro.mesh import build_global_mesh
+        from repro.solver import GlobalSolver, MomentTensorSource, gaussian_stf
+
+        params = SimulationParameters(
+            nex_xi=4, nproc_xi=1, ner_crust_mantle=2, ner_outer_core=1,
+            ner_inner_core=1, nstep_override=10,
+            topography=True, ellipticity=True, oceans=True,
+        )
+        mesh = build_global_mesh(params)
+        source = MomentTensorSource(
+            position=(0.0, 0.0, constants.R_EARTH_KM - 200.0),
+            moment=1e20 * np.eye(3), stf=gaussian_stf(15.0), time_shift=10.0,
+        )
+        solver = GlobalSolver(mesh, params, sources=[source])
+        # Both couplings found despite the deformed interfaces.
+        assert len(solver.couplings) == 2
+        assert solver.ocean_load is not None
+        result = solver.run()
+        for code in solver.solid_codes:
+            assert np.all(np.isfinite(solver.solid[code].displ))

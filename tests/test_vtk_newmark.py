@@ -1,0 +1,106 @@
+"""Tests for the VTK exporter and the time scheme's convergence order."""
+
+import numpy as np
+import pytest
+
+from repro.cartesian import build_box_mesh
+from repro.config.parameters import SimulationParameters
+from repro.io import write_vtk_mesh, write_vtk_surface
+from repro.mesh import build_slice_mesh, external_faces, faces_at_radius
+from repro.model.prem import RegionCode
+from repro.solver import corrector, predictor
+
+
+class TestVTKExport:
+    def test_box_mesh_export(self, tmp_path):
+        mesh = build_box_mesh((2, 2, 1))
+        from repro.mesh.element import RegionMesh
+
+        rmesh = RegionMesh(
+            region=RegionCode.CRUST_MANTLE, xyz=mesh.xyz, ibool=mesh.ibool,
+            nglob=mesh.nglob,
+        )
+        field = np.arange(mesh.nglob, dtype=np.float64)
+        vec = np.zeros((mesh.nglob, 3))
+        path = write_vtk_mesh(
+            rmesh, tmp_path / "box.vtk",
+            point_data={"index": field, "displ": vec},
+        )
+        text = path.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert f"POINTS {mesh.nglob} double" in text
+        # 4 elements x 4^3 subcells each.
+        assert "CELLS 256" in text
+        assert "SCALARS index double 1" in text
+        assert "VECTORS displ double" in text
+
+    def test_element_level_export_smaller(self, tmp_path):
+        mesh = build_box_mesh((2, 2, 1))
+        from repro.mesh.element import RegionMesh
+
+        rmesh = RegionMesh(
+            region=0, xyz=mesh.xyz, ibool=mesh.ibool, nglob=mesh.nglob
+        )
+        path = write_vtk_mesh(rmesh, tmp_path / "coarse.vtk", subdivide=False)
+        assert "CELLS 4 " in path.read_text()
+
+    def test_field_shape_validated(self, tmp_path):
+        mesh = build_box_mesh((1, 1, 1))
+        from repro.mesh.element import RegionMesh
+
+        rmesh = RegionMesh(region=0, xyz=mesh.xyz, ibool=mesh.ibool,
+                           nglob=mesh.nglob)
+        with pytest.raises(ValueError):
+            write_vtk_mesh(
+                rmesh, tmp_path / "bad.vtk",
+                point_data={"x": np.zeros(mesh.nglob + 1)},
+            )
+
+    def test_surface_export(self, tmp_path):
+        params = SimulationParameters(
+            nex_xi=4, nproc_xi=1, ner_crust_mantle=2, ner_outer_core=1,
+            ner_inner_core=1,
+        )
+        from repro.config import constants
+
+        cm = build_slice_mesh(params).regions[RegionCode.CRUST_MANTLE]
+        faces = faces_at_radius(
+            cm.xyz, external_faces(cm.ibool), constants.R_EARTH_KM
+        )
+        path = write_vtk_surface(cm, faces, tmp_path / "surf.vtk")
+        text = path.read_text()
+        # 16 faces x 16 subquads.
+        assert "CELLS 256 " in text
+
+
+class TestNewmarkOrder:
+    def test_second_order_convergence_harmonic_oscillator(self):
+        """The predictor/corrector scheme is 2nd-order on u'' = -w^2 u."""
+        omega = 2.0
+
+        def simulate(dt: float, t_end: float) -> float:
+            u = np.array([[1.0, 0.0, 0.0]])
+            v = np.zeros((1, 3))
+            a = -(omega**2) * u
+            n = int(round(t_end / dt))
+            for _ in range(n):
+                predictor(u, v, a, dt)
+                a[:] = -(omega**2) * u
+                corrector(v, a, dt)
+            return abs(u[0, 0] - np.cos(omega * t_end))
+
+        t_end = 2.0
+        errors = [simulate(dt, t_end) for dt in (0.02, 0.01, 0.005)]
+        rate1 = np.log2(errors[0] / errors[1])
+        rate2 = np.log2(errors[1] / errors[2])
+        assert rate1 == pytest.approx(2.0, abs=0.2)
+        assert rate2 == pytest.approx(2.0, abs=0.2)
+
+    def test_predictor_zeroes_acceleration(self):
+        u = np.zeros((3, 3))
+        v = np.ones((3, 3))
+        a = np.full((3, 3), 2.0)
+        predictor(u, v, a, dt=0.1)
+        np.testing.assert_array_equal(a, 0.0)
+        np.testing.assert_allclose(u, 0.1 * 1.0 + 0.005 * 2.0)
+        np.testing.assert_allclose(v, 1.0 + 0.05 * 2.0)
