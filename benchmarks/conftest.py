@@ -47,6 +47,21 @@ def demo_stations() -> list[Station]:
     ]
 
 
+def comm_summary(result):
+    """The one code path producing comm summaries for the perf tables.
+
+    Prefers the tracer-backed view (``halo.exchange`` span counters) when
+    the run was traced, falling back to the raw ``CommStats`` accounting;
+    both count each message in both directions, matching the paper's
+    bidirectional IPM volumes.
+    """
+    from repro.perf import report_from_distributed, report_from_tracers
+
+    if getattr(result, "tracers", None):
+        return report_from_tracers(result.tracers)
+    return report_from_distributed(result)
+
+
 @pytest.fixture
 def record(benchmark, capsys):
     """Helper: stash a paper-vs-measured dict on the benchmark record."""

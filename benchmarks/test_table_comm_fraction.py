@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.perf import FRANKLIN, predict_run
 
-from conftest import demo_source, small_params
+from conftest import comm_summary, demo_source, small_params
 
 #: The paper's modeling grid: P from 24 to 1536, res from 96 to 640.
 PAPER_GRID = [
@@ -54,17 +54,16 @@ def test_comm_fraction_band(benchmark, record):
 def test_comm_fraction_measured_small_scale(benchmark, record):
     """Real 6-rank run: communication must not dominate (scalability)."""
     from repro.parallel import run_distributed_simulation
-    from repro.perf import report_from_distributed
 
     params = small_params(nex=8, nproc=1, nstep_override=8)
 
     def run():
         return run_distributed_simulation(
-            params, sources=[demo_source()], n_steps=8
+            params, sources=[demo_source()], n_steps=8, trace=True
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
-    report = report_from_distributed(result)
+    report = comm_summary(result)
     # On an oversubscribed 2-CPU host the blocking times are inflated;
     # the structural claim that survives is compute-dominance.
     assert report.comm_fraction < 0.5

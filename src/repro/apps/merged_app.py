@@ -23,6 +23,8 @@ from ..io.meshfiles import (
     write_slice_database,
 )
 from ..mesh.mesher import GlobalMesh, build_global_mesh
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from ..solver.receivers import Station
 from ..solver.solver import GlobalSolver, SolverResult
 
@@ -44,6 +46,10 @@ class GlobalSimulationResult:
     disk: DiskUsage
     #: The live solver (final wavefields, mass matrices) for post-processing.
     solver: GlobalSolver | None = None
+    #: Telemetry of a traced run (``trace=True``): the span tracer and the
+    #: per-timestep metrics registry; both None for untraced runs.
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
 
     @property
     def seismograms(self) -> np.ndarray | None:
@@ -56,6 +62,24 @@ class GlobalSimulationResult:
     def seismogram(self, name: str) -> np.ndarray:
         return self.solver_result.receivers.seismogram(name)
 
+    def export_trace(self, directory: str | Path, stem: str = "trace"):
+        """Write ``<stem>.jsonl`` and ``<stem>.chrome.json`` for this run.
+
+        Returns the two paths.  Raises if the run was not traced.
+        """
+        from ..obs.export import write_chrome_trace, write_jsonl
+
+        if self.tracer is None:
+            raise ValueError("run was not traced; pass trace=True")
+        directory = Path(directory)
+        jsonl = write_jsonl(
+            directory / f"{stem}.jsonl", [self.tracer], metrics=self.metrics
+        )
+        chrome = write_chrome_trace(
+            directory / f"{stem}.chrome.json", [self.tracer]
+        )
+        return jsonl, chrome
+
 
 def run_global_simulation(
     params: SimulationParameters,
@@ -63,15 +87,34 @@ def run_global_simulation(
     stations: list[Station] | None = None,
     n_steps: int | None = None,
     track_energy: bool = False,
+    trace: bool = False,
 ) -> GlobalSimulationResult:
-    """Mesh and solve in one process with in-memory handoff."""
+    """Mesh and solve in one process with in-memory handoff.
+
+    With ``trace=True`` the whole pipeline records into one tracer and
+    metrics registry (returned on the result; see
+    :meth:`GlobalSimulationResult.export_trace`).  Tracing is off by
+    default and the disabled path is a no-op tracer.
+    """
+    tracer = Tracer(pid=0) if trace else None
+    metrics = MetricsRegistry() if trace else None
     t0 = time.perf_counter()
-    mesh = build_global_mesh(params)
+    mesh = build_global_mesh(params, tracer=tracer)
     mesher_s = time.perf_counter() - t0
     t1 = time.perf_counter()
-    solver = GlobalSolver(mesh, params, sources=sources, stations=stations)
+    solver = GlobalSolver(
+        mesh,
+        params,
+        sources=sources,
+        stations=stations,
+        tracer=tracer,
+        metrics=metrics,
+    )
     result = solver.run(n_steps=n_steps, track_energy=track_energy)
     solver_s = time.perf_counter() - t1
+    if metrics is not None:
+        metrics.gauge("mesher.wall_s").set(mesher_s)
+        metrics.gauge("solver.wall_s").set(solver_s)
     return GlobalSimulationResult(
         solver_result=result,
         mesh=mesh,
@@ -79,6 +122,8 @@ def run_global_simulation(
         solver_wall_s=solver_s,
         disk=DiskUsage(files=0, bytes=0, wall_s=0.0),
         solver=solver,
+        tracer=tracer,
+        metrics=metrics,
     )
 
 

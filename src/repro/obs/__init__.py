@@ -1,0 +1,69 @@
+"""Observability: structured tracing, metrics, and trace export.
+
+The paper's performance campaign rests on measurement infrastructure —
+IPM communication summaries, PSiNS flops measurement, and per-phase
+timings feeding the regression models of Figures 5-7.  This package is
+the repo's equivalent: a zero-dependency tracing/metrics layer that the
+mesher, solver, kernels, and halo exchange report into, with exporters
+for JSONL event logs, Chrome ``chrome://tracing`` traces, and the
+per-rank IPM-style summary table.
+
+Tracing is *off by default*: every instrumented call site accepts an
+optional tracer and falls back to the shared :data:`NULL_TRACER`, whose
+spans are no-ops (<2% overhead on the hot kernels, guarded by
+``benchmarks/test_obs_overhead.py``).
+
+Usage::
+
+    from repro.obs import Tracer, MetricsRegistry, write_chrome_trace
+
+    tracer = Tracer(pid=0)
+    with tracer.span("solver.timestep") as sp:
+        sp.add(flops=1.0e9)
+    write_chrome_trace("trace.json", [tracer])
+
+``python -m repro.obs.report trace.jsonl`` renders a saved trace as a
+phase tree, top-N span table, and per-rank comm/compute summary.
+"""
+
+from .export import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .report import (
+    PhaseNode,
+    RunSummary,
+    build_phase_tree,
+    render_ipm_table,
+    render_phase_tree,
+    render_summary,
+    summarize,
+)
+from .tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer, maybe_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseNode",
+    "RunSummary",
+    "SpanRecord",
+    "TimeSeries",
+    "Tracer",
+    "build_phase_tree",
+    "chrome_trace_events",
+    "maybe_tracer",
+    "read_jsonl",
+    "render_ipm_table",
+    "render_phase_tree",
+    "render_summary",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,128 @@
+"""Trace exporters: JSONL event log and Chrome ``chrome://tracing`` JSON.
+
+Two on-disk formats, both loss-free for the span data:
+
+* **JSONL** — one JSON object per line; ``{"type": "meta"}`` header,
+  ``{"type": "span"}`` per closed span, ``{"type": "metrics"}`` for a
+  registry snapshot.  This is the format ``repro.obs.report`` consumes.
+* **Chrome trace** — the Trace Event Format's complete (``"ph": "X"``)
+  events inside ``{"traceEvents": [...]}``; loads directly in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  One
+  Chrome "process" per rank, span counters in ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .metrics import MetricsRegistry
+from .tracer import SpanRecord, Tracer
+
+__all__ = [
+    "merge_records",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+FORMAT_VERSION = 1
+
+
+def merge_records(tracers: Iterable[Tracer]) -> list[SpanRecord]:
+    """All tracers' records in one list, ordered by start time."""
+    records: list[SpanRecord] = []
+    for tracer in tracers:
+        records.extend(tracer.records)
+    return sorted(records, key=lambda r: (r.start_s, r.pid, r.tid))
+
+
+def chrome_trace_events(records: Iterable[SpanRecord]) -> list[dict]:
+    """Trace Event Format complete events (timestamps in microseconds)."""
+    events = []
+    for r in records:
+        event = {
+            "name": r.name,
+            "cat": r.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": r.start_s * 1e6,
+            "dur": r.duration_s * 1e6,
+            "pid": r.pid,
+            "tid": r.tid,
+        }
+        if r.counters:
+            event["args"] = r.counters
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(
+    path: str | Path,
+    tracers: Iterable[Tracer] | None = None,
+    records: Iterable[SpanRecord] | None = None,
+) -> Path:
+    """Write a Chrome/Perfetto-loadable trace; returns the path."""
+    if records is None:
+        records = merge_records(tracers or [])
+    payload = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "version": FORMAT_VERSION},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_jsonl(
+    path: str | Path,
+    tracers: Iterable[Tracer] | None = None,
+    records: Iterable[SpanRecord] | None = None,
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Write the JSONL event log; returns the path."""
+    if records is None:
+        records = merge_records(tracers or [])
+    else:
+        records = list(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as f:
+        header = {"type": "meta", "version": FORMAT_VERSION}
+        if meta:
+            header.update(meta)
+        f.write(json.dumps(header) + "\n")
+        for r in records:
+            f.write(json.dumps({"type": "span", **r.to_dict()}) + "\n")
+        if metrics is not None:
+            f.write(
+                json.dumps({"type": "metrics", **metrics.snapshot()}) + "\n"
+            )
+    return path
+
+
+def read_jsonl(
+    path: str | Path,
+) -> tuple[list[SpanRecord], dict | None, dict]:
+    """Load a JSONL trace: (span records, metrics snapshot or None, meta)."""
+    records: list[SpanRecord] = []
+    metrics: dict | None = None
+    meta: dict = {}
+    with Path(path).open() as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.pop("type", "span")
+            if kind == "span":
+                records.append(SpanRecord.from_dict(obj))
+            elif kind == "metrics":
+                metrics = obj
+            elif kind == "meta":
+                meta = obj
+    return records, metrics, meta

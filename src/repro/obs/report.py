@@ -1,0 +1,305 @@
+"""Run-summary rendering: phase tree, top spans, per-rank IPM table.
+
+``summarize`` folds span records (live tracers or a loaded JSONL trace)
+into a :class:`RunSummary`; the ``render_*`` functions produce the
+human-readable tables.  The per-rank table reproduces the shape of the
+paper's IPM report: wall/compute/communication split, message and byte
+counts per rank, aggregate comm fraction.
+
+Command line::
+
+    python -m repro.obs.report trace.jsonl [--top N]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .tracer import SpanRecord
+
+__all__ = [
+    "COMM_SPAN_PREFIXES",
+    "PhaseNode",
+    "RunSummary",
+    "build_phase_tree",
+    "summarize",
+    "render_phase_tree",
+    "render_ipm_table",
+    "render_top_spans",
+    "render_summary",
+    "main",
+]
+
+#: Span-name prefixes counted as communication time in the comm/compute
+#: split (the IPM "MPI time" analog).
+COMM_SPAN_PREFIXES = ("halo.", "comm.")
+
+
+def _is_comm(name: str) -> bool:
+    return name.startswith(COMM_SPAN_PREFIXES)
+
+
+@dataclass
+class PhaseNode:
+    """Aggregated node of the phase tree (one span name at one depth)."""
+
+    name: str
+    total_s: float = 0.0
+    calls: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
+    children: dict[str, "PhaseNode"] = field(default_factory=dict)
+
+    @property
+    def self_s(self) -> float:
+        """Exclusive time: total minus the time inside child spans."""
+        return self.total_s - sum(c.total_s for c in self.children.values())
+
+    def child(self, name: str) -> "PhaseNode":
+        if name not in self.children:
+            self.children[name] = PhaseNode(name)
+        return self.children[name]
+
+    def walk(self, depth: int = 0):
+        for name in sorted(
+            self.children, key=lambda n: -self.children[n].total_s
+        ):
+            node = self.children[name]
+            yield node, depth
+            yield from node.walk(depth + 1)
+
+
+@dataclass
+class RankRow:
+    """One rank's comm/compute accounting."""
+
+    pid: int
+    wall_s: float = 0.0
+    comm_s: float = 0.0
+    messages: float = 0.0
+    bytes: float = 0.0
+    flops: float = 0.0
+
+    @property
+    def compute_s(self) -> float:
+        return max(0.0, self.wall_s - self.comm_s)
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class RunSummary:
+    """Everything the report renders, pre-aggregated."""
+
+    tree: PhaseNode
+    ranks: list[RankRow]
+    n_spans: int
+
+    @property
+    def wall_s(self) -> float:
+        return max((r.wall_s for r in self.ranks), default=0.0)
+
+    @property
+    def total_comm_s(self) -> float:
+        return sum(r.comm_s for r in self.ranks)
+
+    @property
+    def total_compute_s(self) -> float:
+        return sum(r.compute_s for r in self.ranks)
+
+    @property
+    def comm_fraction(self) -> float:
+        denom = self.total_comm_s + self.total_compute_s
+        return self.total_comm_s / denom if denom > 0 else 0.0
+
+    @property
+    def total_messages(self) -> int:
+        return int(sum(r.messages for r in self.ranks))
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(r.bytes for r in self.ranks))
+
+    def phase_counter(self, name: str, counter: str = "flops") -> float:
+        """Sum of one counter over every tree node with this span name."""
+        total = 0.0
+        for node, _depth in self.tree.walk():
+            if node.name == name:
+                total += node.counters.get(counter, 0.0)
+        return total
+
+
+def build_phase_tree(records: list[SpanRecord]) -> PhaseNode:
+    """Aggregate records into a tree keyed by the span-name call path.
+
+    Records must keep their tracer-local order (parents precede
+    children), which both live tracers and the JSONL round trip provide
+    per (pid, tid).
+    """
+    root = PhaseNode("<root>")
+    # Per-record resolved node, so children can find their parent's node.
+    # Records from several tracers interleave; key by (pid, tid, index).
+    by_tracer: dict[tuple[int, int], list[SpanRecord]] = {}
+    for r in records:
+        by_tracer.setdefault((r.pid, r.tid), []).append(r)
+    for recs in by_tracer.values():
+        nodes: list[PhaseNode] = []
+        for r in recs:
+            parent_node = root if r.parent < 0 else nodes[r.parent]
+            node = parent_node.child(r.name)
+            node.total_s += r.duration_s
+            node.calls += 1
+            for key, value in r.counters.items():
+                node.counters[key] = node.counters.get(key, 0.0) + value
+            nodes.append(node)
+    return root
+
+
+def summarize(records: Iterable[SpanRecord]) -> RunSummary:
+    """Fold span records into the per-rank and per-phase aggregates."""
+    records = list(records)
+    rows: dict[int, RankRow] = {}
+    for r in records:
+        row = rows.setdefault(r.pid, RankRow(pid=r.pid))
+        row.wall_s = max(row.wall_s, r.start_s + r.duration_s)
+        if _is_comm(r.name):
+            row.comm_s += r.duration_s
+            row.messages += r.counters.get("messages", 0.0)
+            row.bytes += r.counters.get("bytes", 0.0)
+        row.flops += r.counters.get("flops", 0.0)
+    tree = build_phase_tree(records)
+    return RunSummary(
+        tree=tree,
+        ranks=[rows[pid] for pid in sorted(rows)],
+        n_spans=len(records),
+    )
+
+
+# ----------------------------------------------------------------- rendering
+
+
+def _fmt_count(value: float) -> str:
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f}{unit}"
+    return f"{value:.0f}"
+
+
+def render_phase_tree(summary: RunSummary) -> str:
+    """Indented phase tree: time, calls, share of wall, flops."""
+    lines = [
+        f"{'phase':<42}{'total_s':>10}{'calls':>8}{'%wall':>7}"
+        f"{'flops':>10}{'bytes':>10}"
+    ]
+    wall = summary.wall_s or 1.0
+    for node, depth in summary.tree.walk():
+        label = "  " * depth + node.name
+        flops = node.counters.get("flops", 0.0)
+        nbytes = node.counters.get("bytes", 0.0)
+        lines.append(
+            f"{label:<42}{node.total_s:>10.4f}{node.calls:>8}"
+            f"{100.0 * node.total_s / wall:>6.1f}%"
+            f"{_fmt_count(flops) if flops else '-':>10}"
+            f"{_fmt_count(nbytes) if nbytes else '-':>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_ipm_table(summary: RunSummary) -> str:
+    """The per-rank IPM-analog report (compute/comm split per rank)."""
+    lines = [
+        "##IPM-analog" + "#" * 58,
+        f"# ranks: {len(summary.ranks)}   wall: {summary.wall_s:.3f} s   "
+        f"comm: {100.0 * summary.comm_fraction:.2f}%   "
+        f"msgs: {summary.total_messages}   "
+        f"bytes: {_fmt_count(summary.total_bytes)}",
+        "#",
+        f"# {'rank':>4} {'wall_s':>9} {'compute_s':>10} {'comm_s':>9} "
+        f"{'comm%':>6} {'msgs':>8} {'MB':>9} {'flops':>9}",
+    ]
+    for row in summary.ranks:
+        lines.append(
+            f"# {row.pid:>4} {row.wall_s:>9.4f} {row.compute_s:>10.4f} "
+            f"{row.comm_s:>9.4f} {100.0 * row.comm_fraction:>5.1f}% "
+            f"{int(row.messages):>8} {row.bytes / 1e6:>9.3f} "
+            f"{_fmt_count(row.flops):>9}"
+        )
+    lines.append("#" * 70)
+    return "\n".join(lines)
+
+
+def render_top_spans(summary: RunSummary, n: int = 10) -> str:
+    """Top-N span names by aggregate (inclusive) time."""
+    totals: dict[str, tuple[float, int]] = {}
+    for node, _depth in summary.tree.walk():
+        t, c = totals.get(node.name, (0.0, 0))
+        totals[node.name] = (t + node.total_s, c + node.calls)
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:n]
+    lines = [f"{'span':<32}{'total_s':>10}{'calls':>8}{'s/call':>12}"]
+    for name, (total, calls) in ranked:
+        per_call = total / calls if calls else 0.0
+        lines.append(f"{name:<32}{total:>10.4f}{calls:>8}{per_call:>12.6f}")
+    return "\n".join(lines)
+
+
+def render_summary(
+    records: Iterable[SpanRecord], top_n: int = 10, title: str = "run summary"
+) -> str:
+    """Full report: IPM table + phase tree + top spans."""
+    summary = summarize(records)
+    parts = [
+        f"== repro.obs {title}: {summary.n_spans} spans, "
+        f"{len(summary.ranks)} rank(s) ==",
+        "",
+        render_ipm_table(summary),
+        "",
+        "-- phase tree --",
+        render_phase_tree(summary),
+        "",
+        f"-- top {top_n} spans --",
+        render_top_spans(summary, top_n),
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: render a saved JSONL trace."""
+    from .export import read_jsonl
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    top_n = 10
+    if "--top" in argv:
+        i = argv.index("--top")
+        top_n = int(argv[i + 1])
+        del argv[i : i + 2]
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.report TRACE.jsonl [--top N]")
+        return 2
+    try:
+        records, metrics, meta = read_jsonl(argv[0])
+    except OSError as exc:
+        print(f"error: cannot read trace {argv[0]!r}: {exc}", file=sys.stderr)
+        return 1
+    title = meta.get("title", argv[0])
+    print(render_summary(records, top_n=top_n, title=str(title)))
+    if metrics:
+        print("\n-- metrics --")
+        for name, value in sorted(metrics.get("counters", {}).items()):
+            print(f"counter {name:<38}{_fmt_count(value):>12}")
+        for name, g in sorted(metrics.get("gauges", {}).items()):
+            val = g.get("value")
+            print(f"gauge   {name:<38}"
+                  f"{'-' if val is None else f'{val:.6g}':>12}")
+        for name, s in sorted(metrics.get("series", {}).items()):
+            vals = s.get("values", [])
+            if vals:
+                print(f"series  {name:<38}{len(vals):>6} samples, "
+                      f"last {vals[-1]:.6g}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

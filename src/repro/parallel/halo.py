@@ -23,6 +23,7 @@ import numpy as np
 
 from ..mesh.element import RegionMesh, SliceMesh
 from ..mesh.interfaces import FACE_SLICES, external_faces
+from ..obs.tracer import maybe_tracer
 
 __all__ = ["RegionHalo", "build_halos", "HaloExchanger"]
 
@@ -130,28 +131,46 @@ class HaloExchanger:
     shared points of each neighbor and adds the received contributions,
     returning the fully assembled array.  The tag space separates regions
     so the exchanges of the fluid and solid regions cannot cross-match.
+
+    With a tracer attached, every exchange becomes a ``halo.exchange``
+    span whose counters record both directions of the traffic (messages,
+    bytes, shared points) — the raw data of the paper's IPM summaries.
     """
 
-    def __init__(self, comm, halos_for_rank: dict[int, RegionHalo]):
+    def __init__(
+        self, comm, halos_for_rank: dict[int, RegionHalo], tracer=None
+    ):
         self.comm = comm
         self.halos = halos_for_rank
+        self.tracer = maybe_tracer(tracer)
 
     def assemble(self, region: int, array: np.ndarray) -> np.ndarray:
         halo = self.halos.get(region)
         if halo is None or not halo.neighbors:
             return array
         tag = 1000 + region
-        # Capture local contributions before any addition.
-        outgoing = {
-            nbr: array[ids].copy() for nbr, ids in sorted(halo.neighbors.items())
-        }
-        for nbr, payload in outgoing.items():
-            self.comm.send(nbr, payload, tag=tag)
-        for nbr, ids in sorted(halo.neighbors.items()):
-            received = self.comm.recv(nbr, tag=tag)
-            # ids are unique within one neighbor list (deduplicated at
-            # construction), so plain fancy-index addition is exact.
-            array[ids] += received
+        with self.tracer.span("halo.exchange", region=region) as span:
+            # Capture local contributions before any addition.
+            outgoing = {
+                nbr: array[ids].copy()
+                for nbr, ids in sorted(halo.neighbors.items())
+            }
+            sent = 0
+            for nbr, payload in outgoing.items():
+                self.comm.send(nbr, payload, tag=tag)
+                sent += payload.nbytes
+            received_bytes = 0
+            for nbr, ids in sorted(halo.neighbors.items()):
+                received = self.comm.recv(nbr, tag=tag)
+                received_bytes += received.nbytes
+                # ids are unique within one neighbor list (deduplicated at
+                # construction), so plain fancy-index addition is exact.
+                array[ids] += received
+            span.add(
+                messages=2 * len(outgoing),
+                bytes=sent + received_bytes,
+                points=halo.total_points(),
+            )
         return array
 
     def assemble_many(self, arrays: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
@@ -170,33 +189,40 @@ class HaloExchanger:
             if halo is not None:
                 neighbors.update(halo.neighbors)
         tag = 2000
-        for nbr in sorted(neighbors):
-            parts = []
-            for region in regions:
-                halo = self.halos.get(region)
-                if halo is None or nbr not in halo.neighbors:
-                    continue
-                parts.append(
-                    arrays[region][halo.neighbors[nbr]].reshape(-1)
-                )
-            self.comm.send(nbr, np.concatenate(parts), tag=tag)
-        for nbr in sorted(neighbors):
-            received = self.comm.recv(nbr, tag=tag)
-            offset = 0
-            for region in regions:
-                halo = self.halos.get(region)
-                if halo is None or nbr not in halo.neighbors:
-                    continue
-                ids = halo.neighbors[nbr]
-                array = arrays[region]
-                block_shape = (ids.size, *array.shape[1:])
-                count = int(np.prod(block_shape))
-                block = received[offset : offset + count].reshape(block_shape)
-                offset += count
-                array[ids] += block
-            if offset != received.size:
-                raise ValueError(
-                    f"combined halo payload from rank {nbr} has "
-                    f"{received.size} values, consumed {offset}"
-                )
+        with self.tracer.span("halo.exchange", merged_regions=len(regions)) as span:
+            sent = 0
+            for nbr in sorted(neighbors):
+                parts = []
+                for region in regions:
+                    halo = self.halos.get(region)
+                    if halo is None or nbr not in halo.neighbors:
+                        continue
+                    parts.append(
+                        arrays[region][halo.neighbors[nbr]].reshape(-1)
+                    )
+                payload = np.concatenate(parts)
+                self.comm.send(nbr, payload, tag=tag)
+                sent += payload.nbytes
+            received_bytes = 0
+            for nbr in sorted(neighbors):
+                received = self.comm.recv(nbr, tag=tag)
+                received_bytes += received.nbytes
+                offset = 0
+                for region in regions:
+                    halo = self.halos.get(region)
+                    if halo is None or nbr not in halo.neighbors:
+                        continue
+                    ids = halo.neighbors[nbr]
+                    array = arrays[region]
+                    block_shape = (ids.size, *array.shape[1:])
+                    count = int(np.prod(block_shape))
+                    block = received[offset : offset + count].reshape(block_shape)
+                    offset += count
+                    array[ids] += block
+                if offset != received.size:
+                    raise ValueError(
+                        f"combined halo payload from rank {nbr} has "
+                        f"{received.size} values, consumed {offset}"
+                    )
+            span.add(messages=2 * len(neighbors), bytes=sent + received_bytes)
         return arrays

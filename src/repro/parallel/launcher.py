@@ -21,6 +21,8 @@ from ..config.parameters import SimulationParameters
 from ..cubed_sphere.topology import SliceGrid
 from ..mesh.mesher import build_slice_mesh
 from ..model.perturbations import SyntheticTomography
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from ..solver.receivers import Station
 from ..solver.solver import GlobalSolver
 from .comm import CommStats, VirtualCluster, VirtualComm
@@ -42,6 +44,11 @@ class DistributedResult:
     rank_compute_s: list[float]
     rank_compute_cpu_s: list[float]
     rank_elements: list[int]
+    #: Per-rank tracers and metrics registries when the run was traced
+    #: (``trace=True``), else None.  ``tracers[rank].records`` carries the
+    #: mesher/solver/halo spans of that virtual rank.
+    tracers: list[Tracer] | None = None
+    metrics: list[MetricsRegistry] | None = None
 
     @property
     def total_comm_time_s(self) -> float:
@@ -50,6 +57,12 @@ class DistributedResult:
     @property
     def total_bytes_sent(self) -> int:
         return sum(s.bytes_sent for s in self.comm_stats)
+
+    def merged_metrics(self) -> MetricsRegistry | None:
+        """All ranks' metrics folded into one registry."""
+        if self.metrics is None:
+            return None
+        return MetricsRegistry.merged(self.metrics)
 
 
 def _assign_stations(
@@ -83,21 +96,47 @@ def run_distributed_simulation(
     n_steps: int | None = None,
     timeout_s: float = 600.0,
     combine_solid_messages: bool = True,
+    trace: bool = False,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
     All ranks execute the same program on threads; the returned result
     contains rank-0-gathered seismograms plus per-rank communication and
-    compute accounting.
+    compute accounting.  With ``trace=True`` every rank records mesher/
+    solver/halo spans into its own tracer (``result.tracers``), merged
+    into one report by :mod:`repro.obs.report`.
     """
+    import time as _time
+
     grid = SliceGrid(params.nproc_xi)
     tomography = (
         SyntheticTomography(seed=params.seed) if params.use_3d_model else None
     )
+    # One epoch for every rank's tracer so merged timelines align.
+    epoch = _time.perf_counter() if trace else None
+    tracers: list[Tracer] | None = (
+        [Tracer(pid=rank, epoch=epoch) for rank in range(grid.nproc_total)]
+        if trace
+        else None
+    )
+    metrics: list[MetricsRegistry] | None = (
+        [MetricsRegistry(rank=rank) for rank in range(grid.nproc_total)]
+        if trace
+        else None
+    )
+
+    def _tracer(rank: int):
+        return tracers[rank] if tracers is not None else None
+
     # Mesh all slices up front (the merged-application mode of Section 4.1:
     # mesher output stays in memory and is handed to the solver directly).
     slices = [
-        build_slice_mesh(params, grid.address_of(rank), tomography=tomography)
+        build_slice_mesh(
+            params,
+            grid.address_of(rank),
+            tomography=tomography,
+            tracer=_tracer(rank),
+        )
         for rank in range(grid.nproc_total)
     ]
     halos = build_halos(slices)
@@ -130,7 +169,9 @@ def run_distributed_simulation(
 
     def program(comm: VirtualComm):
         rank = comm.rank
-        exchanger = HaloExchanger(comm, halos[rank])
+        rank_tracer = _tracer(rank)
+        rank_metrics = metrics[rank] if metrics is not None else None
+        exchanger = HaloExchanger(comm, halos[rank], tracer=rank_tracer)
         my_stations = station_assignment.get(rank, [])
         solver = GlobalSolver(
             slices[rank],
@@ -142,6 +183,8 @@ def run_distributed_simulation(
                 exchanger.assemble_many if combine_solid_messages else None
             ),
             dt_override=dt_global,
+            tracer=rank_tracer,
+            metrics=rank_metrics,
         )
         # The allreduce a real run would perform (a no-op on equal values,
         # but it exercises and accounts the collective).
@@ -149,6 +192,18 @@ def run_distributed_simulation(
         steps = n_steps if n_steps is not None else solver.n_steps
         steps = int(comm.allreduce(steps, op="min"))
         result = solver.run(n_steps=steps)
+        if rank_metrics is not None:
+            s = comm.stats
+            rank_metrics.counter("comm.messages").add(
+                s.messages_sent + s.messages_received
+            )
+            rank_metrics.counter("comm.bytes").add(
+                s.bytes_sent + s.bytes_received
+            )
+            denom = s.comm_time_s + result.timings.compute_s
+            rank_metrics.gauge("comm.fraction").set(
+                s.comm_time_s / denom if denom > 0 else 0.0, rank=rank
+            )
         payload = {
             "names": [s.name for s in my_stations],
             "data": result.seismograms,
@@ -192,4 +247,6 @@ def run_distributed_simulation(
         rank_compute_s=compute_s,
         rank_compute_cpu_s=compute_cpu_s,
         rank_elements=elements,
+        tracers=tracers,
+        metrics=metrics,
     )

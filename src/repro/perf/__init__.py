@@ -14,7 +14,12 @@ from .flops_model import (
     sustained_gflops_per_core,
     sustained_tflops,
 )
-from .ipm import IPMProfiler, IPMReport, report_from_distributed
+from .ipm import (
+    IPMProfiler,
+    IPMReport,
+    report_from_distributed,
+    report_from_tracers,
+)
 from .psins import FlopsReport, measure_sustained_flops
 from .machines import FRANKLIN, JAGUAR, KRAKEN, MACHINES, RANGER, MachineSpec
 from .runtime_model import RuntimeFit, fit_runtime_model, holdout_prediction_error
@@ -40,6 +45,7 @@ __all__ = [
     "IPMProfiler",
     "IPMReport",
     "report_from_distributed",
+    "report_from_tracers",
     "FlopsReport",
     "measure_sustained_flops",
     "FRANKLIN",

@@ -6,24 +6,41 @@ that provides a performance summary of the computations and communications
 virtual-cluster runs: per-rank wall time split into compute and
 communication, plus message and byte counts, aggregated into the numbers
 the Figure-6 / T-COMM experiments need.
+
+Since the observability layer landed, this module is a thin view over
+:mod:`repro.obs`: :class:`IPMProfiler` records regions as tracer spans,
+and :func:`report_from_tracers` folds a traced run's spans into the same
+:class:`IPMReport` that :func:`report_from_distributed` builds from the
+virtual communicators' raw :class:`~repro.parallel.comm.CommStats`.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from ..obs.report import summarize
+from ..obs.tracer import Tracer
 from ..parallel.comm import CommStats
 
-__all__ = ["IPMProfiler", "IPMReport", "report_from_distributed"]
+__all__ = [
+    "IPMProfiler",
+    "IPMReport",
+    "report_from_distributed",
+    "report_from_tracers",
+]
 
 
 @dataclass
 class IPMReport:
-    """Aggregated communication/computation summary of one parallel run."""
+    """Aggregated communication/computation summary of one parallel run.
+
+    ``total_messages``/``total_bytes`` count *both* directions of the
+    halo traffic (every message is sent once and received once), matching
+    the paper's bidirectional IPM volumes.
+    """
 
     n_ranks: int
     total_wall_s: float
@@ -53,9 +70,17 @@ class IPMReport:
             "bytes": self.total_bytes,
         }
 
+    def to_json(self) -> str:
+        """Loss-free JSON serialisation (see :meth:`from_json`)."""
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "IPMReport":
+        return cls(**json.loads(payload))
+
 
 class IPMProfiler:
-    """Manual region profiler for serial instrumentation.
+    """Manual region profiler — a thin view over an :mod:`repro.obs` tracer.
 
     Usage::
 
@@ -65,33 +90,44 @@ class IPMProfiler:
         with ipm.region("mpi"):
             ...
         ipm.summary()
+
+    Regions become flat tracer spans, so an existing profiler can be
+    exported with the :mod:`repro.obs.export` writers unchanged.
     """
 
-    def __init__(self) -> None:
-        self.totals: dict[str, float] = {}
-        self.counts: dict[str, int] = {}
-        self._t0 = time.perf_counter()
+    def __init__(self, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(pid=0)
 
-    @contextmanager
     def region(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
-            self.counts[name] = self.counts.get(name, 0) + 1
+        return self.tracer.span(name)
+
+    @property
+    def totals(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.tracer.records:
+            out[r.name] = out.get(r.name, 0.0) + r.duration_s
+        return out
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.tracer.records:
+            out[r.name] = out.get(r.name, 0) + 1
+        return out
 
     @property
     def wall_s(self) -> float:
-        return time.perf_counter() - self._t0
+        import time
+
+        return time.perf_counter() - self.tracer.epoch
 
     def summary(self) -> dict[str, dict[str, float]]:
         wall = self.wall_s
+        counts = self.counts
         return {
             name: {
                 "total_s": total,
-                "calls": self.counts[name],
+                "calls": counts[name],
                 "percent_of_wall": 100.0 * total / wall if wall > 0 else 0.0,
             }
             for name, total in sorted(self.totals.items())
@@ -109,6 +145,25 @@ def report_from_distributed(result) -> IPMReport:
         total_wall_s=total_comm + total_compute,
         total_comm_s=total_comm,
         total_compute_s=total_compute,
-        total_messages=sum(s.messages_sent for s in stats),
-        total_bytes=sum(s.bytes_sent for s in stats),
+        total_messages=sum(s.messages_sent + s.messages_received for s in stats),
+        total_bytes=sum(s.bytes_sent + s.bytes_received for s in stats),
+    )
+
+
+def report_from_tracers(tracers: list[Tracer]) -> IPMReport:
+    """Build an :class:`IPMReport` from a traced run's per-rank tracers.
+
+    Communication time/volume comes from the ``halo.*``/``comm.*`` spans
+    (which already count both directions in their ``bytes``/``messages``
+    counters); compute time is the per-rank wall remainder.
+    """
+    records = [r for t in tracers for r in t.records]
+    summary = summarize(records)
+    return IPMReport(
+        n_ranks=len(summary.ranks),
+        total_wall_s=sum(r.wall_s for r in summary.ranks),
+        total_comm_s=summary.total_comm_s,
+        total_compute_s=summary.total_compute_s,
+        total_messages=summary.total_messages,
+        total_bytes=summary.total_bytes,
     )

@@ -28,11 +28,18 @@ from ..config.parameters import SimulationParameters
 from ..gll.lagrange import GLLBasis
 from ..kernels.acoustic import compute_forces_acoustic
 from ..kernels.elastic import compute_forces_elastic, compute_strain
+from ..kernels.flops import (
+    acoustic_kernel_flops,
+    attenuation_update_flops,
+    elastic_kernel_flops,
+    newmark_update_flops,
+)
 from ..kernels.geometry import compute_geometry
 from ..mesh.element import RegionMesh
 from ..mesh.interfaces import external_faces, faces_at_radius, match_coupling_faces
 from ..mesh.quality import estimate_time_step
 from ..model.prem import PREM, RegionCode
+from ..obs.tracer import maybe_tracer
 from . import newmark
 from .assembly import (
     assemble_mass_matrix,
@@ -135,8 +142,15 @@ class GlobalSolver:
         mass_assembler: Callable[[int, np.ndarray], np.ndarray] | None = None,
         multi_assembler: Callable[[dict], dict] | None = None,
         dt_override: float | None = None,
+        tracer=None,
+        metrics=None,
     ):
         self.params = params
+        #: Observability hooks: a no-op tracer unless one is injected, and
+        #: an optional :class:`~repro.obs.metrics.MetricsRegistry` sampled
+        #: per timestep.
+        self.tracer = maybe_tracer(tracer)
+        self.metrics = metrics
         self.basis = GLLBasis(constants.NGLLX)
         self.assembler = assembler or (lambda region, arr: arr)
         #: Optional combined-message assembler for several solid regions at
@@ -157,6 +171,37 @@ class GlobalSolver:
         if len(fluid_codes) > 1:
             raise ValueError("at most one fluid region is supported")
         self.fluid_code = fluid_codes[0] if fluid_codes else None
+
+        # Per-phase flop estimates (the PSiNS-analog counters attached to
+        # kernel spans), computed once so the hot loop only reads them.
+        n3 = constants.NGLLX**3
+        self._elastic_flops = {
+            code: float(elastic_kernel_flops(self.regions[code].mesh.nspec))
+            for code in self.solid_codes
+        }
+        self._atten_flops = {
+            code: float(attenuation_update_flops(self.regions[code].mesh.nspec))
+            for code in self.solid_codes
+        }
+        self._acoustic_flops = (
+            float(acoustic_kernel_flops(self.regions[self.fluid_code].mesh.nspec))
+            if self.fluid_code is not None
+            else 0.0
+        )
+        self._gll_points = {
+            code: float(st.mesh.nspec * n3) for code, st in self.regions.items()
+        }
+        self._newmark_flops = float(
+            sum(
+                newmark_update_flops(self.regions[c].nglob, 3)
+                for c in self.solid_codes
+            )
+            + (
+                newmark_update_flops(self.regions[self.fluid_code].nglob, 1)
+                if self.fluid_code is not None
+                else 0
+            )
+        )
 
         # -- Mass matrices (assembled across ranks through the hook) -------
         self.mass: dict[int, np.ndarray] = {}
@@ -412,19 +457,45 @@ class GlobalSolver:
                 self.receiver_set.receivers, n_steps, self.dt
             )
         energies: list[float] = []
+        tr = self.tracer
+        metrics = self.metrics
         t_start = time.perf_counter()
-        for step in range(n_steps):
-            t = step * self.dt
-            self._one_step(t)
-            for cb in callbacks or ():
-                cb(step, self)
-            if self.receiver_set is not None:
-                cm = self.regions[RegionCode.CRUST_MANTLE]
-                self.receiver_set.record(
-                    self.solid[RegionCode.CRUST_MANTLE].displ, cm.ibool
-                )
-            if track_energy and step % energy_every == 0:
-                energies.append(self._total_kinetic_energy())
+        with tr.span("solver.run", steps=n_steps):
+            for step in range(n_steps):
+                t = step * self.dt
+                with tr.span("solver.timestep"):
+                    self._one_step(t)
+                    for cb in callbacks or ():
+                        cb(step, self)
+                    if self.receiver_set is not None:
+                        cm = self.regions[RegionCode.CRUST_MANTLE]
+                        with tr.span("io.seismogram_record") as sp:
+                            self.receiver_set.record(
+                                self.solid[RegionCode.CRUST_MANTLE].displ,
+                                cm.ibool,
+                            )
+                            nbytes = len(self.receiver_set.receivers) * 3 * 8
+                            sp.add(bytes=nbytes)
+                            if metrics is not None:
+                                metrics.counter("io.seismogram_bytes").add(nbytes)
+                    if track_energy and step % energy_every == 0:
+                        energies.append(self._total_kinetic_energy())
+                        if metrics is not None:
+                            metrics.timeseries("solver.kinetic_energy_j").append(
+                                step, energies[-1]
+                            )
+                if metrics is not None:
+                    metrics.counter("solver.steps").add(1)
+                    max_displ = max(
+                        (
+                            float(np.max(np.abs(self.solid[code].displ)))
+                            for code in self.solid_codes
+                        ),
+                        default=0.0,
+                    )
+                    metrics.timeseries("solver.max_displacement_m").append(
+                        step, max_displ
+                    )
         self.timings.total_s = time.perf_counter() - t_start
         self.timings.steps = n_steps
         return SolverResult(
@@ -435,29 +506,44 @@ class GlobalSolver:
             energy_history=np.asarray(energies) if track_energy else None,
         )
 
+    def _coupling_span_name(self, solid_code: int) -> str:
+        return (
+            "coupling.cmb"
+            if solid_code == RegionCode.CRUST_MANTLE
+            else "coupling.icb"
+        )
+
     def _one_step(self, t: float) -> None:
         dt = self.dt
+        tr = self.tracer
         # Predictor on every field.
-        for code in self.solid_codes:
-            f = self.solid[code]
-            newmark.predictor(f.displ, f.veloc, f.accel, dt)
-        if self.fluid is not None:
-            newmark.predictor_scalar(
-                self.fluid.chi, self.fluid.chi_dot, self.fluid.chi_ddot, dt
-            )
+        with tr.span("solver.newmark_predictor"):
+            for code in self.solid_codes:
+                f = self.solid[code]
+                newmark.predictor(f.displ, f.veloc, f.accel, dt)
+            if self.fluid is not None:
+                newmark.predictor_scalar(
+                    self.fluid.chi, self.fluid.chi_dot, self.fluid.chi_ddot, dt
+                )
 
         t0 = time.perf_counter()
         cpu0 = time.thread_time()
         # ---- Fluid update first (needs only solid displacement). ----
         if self.fluid is not None:
             fl = self.regions[self.fluid_code]
-            chi_local = gather(self.fluid.chi, fl.ibool)
-            force_local = compute_forces_acoustic(
-                chi_local, fl.geom, 1.0 / fl.rho, self.basis
-            )
-            force = scatter_add(force_local, fl.ibool, fl.nglob)
+            with tr.span(
+                "kernel.acoustic",
+                flops=self._acoustic_flops,
+                gll_points=self._gll_points[self.fluid_code],
+            ):
+                chi_local = gather(self.fluid.chi, fl.ibool)
+                force_local = compute_forces_acoustic(
+                    chi_local, fl.geom, 1.0 / fl.rho, self.basis
+                )
+                force = scatter_add(force_local, fl.ibool, fl.nglob)
             for solid_code, op in self.couplings:
-                op.add_fluid_coupling(force, self.solid[solid_code].displ)
+                with tr.span(self._coupling_span_name(solid_code)):
+                    op.add_fluid_coupling(force, self.solid[solid_code].displ)
             force = self.assembler(self.fluid_code, force)
             self.fluid.chi_ddot[:] = force / self.mass[self.fluid_code]
             newmark.corrector_scalar(self.fluid.chi_dot, self.fluid.chi_ddot, dt)
@@ -471,31 +557,39 @@ class GlobalSolver:
             u_local = gather(f.displ, st.ibool)
             correction = None
             if code in self.attenuation:
-                strain = compute_strain(u_local, st.geom, self.basis)
-                atten = self.attenuation[code]
-                atten.update(strain)
-                correction = atten.stress_correction(st.mu)
-            if st.ti_moduli is not None:
-                from ..kernels.anisotropic import compute_forces_elastic_ti
+                with tr.span(
+                    "kernel.attenuation", flops=self._atten_flops[code]
+                ):
+                    strain = compute_strain(u_local, st.geom, self.basis)
+                    atten = self.attenuation[code]
+                    atten.update(strain)
+                    correction = atten.stress_correction(st.mu)
+            with tr.span(
+                "kernel.elastic",
+                flops=self._elastic_flops[code],
+                gll_points=self._gll_points[code],
+            ):
+                if st.ti_moduli is not None:
+                    from ..kernels.anisotropic import compute_forces_elastic_ti
 
-                force_local = compute_forces_elastic_ti(
-                    u_local,
-                    st.geom,
-                    st.ti_moduli,
-                    st.ti_frames,
-                    self.basis,
-                    stress_correction=correction,
-                )
-            else:
-                force_local = compute_forces_elastic(
-                    u_local,
-                    st.geom,
-                    st.lam,
-                    st.mu,
-                    self.basis,
-                    variant=self.params.kernel_variant,
-                    stress_correction=correction,
-                )
+                    force_local = compute_forces_elastic_ti(
+                        u_local,
+                        st.geom,
+                        st.ti_moduli,
+                        st.ti_frames,
+                        self.basis,
+                        stress_correction=correction,
+                    )
+                else:
+                    force_local = compute_forces_elastic(
+                        u_local,
+                        st.geom,
+                        st.lam,
+                        st.mu,
+                        self.basis,
+                        variant=self.params.kernel_variant,
+                        stress_correction=correction,
+                    )
             if self.omega_vector is not None:
                 v_local = gather(f.veloc, st.ibool)
                 force_local += coriolis_local_force(
@@ -513,7 +607,8 @@ class GlobalSolver:
             force = scatter_add(force_local, st.ibool, st.nglob)
             for solid_code, op in self.couplings:
                 if solid_code == code and self.fluid is not None:
-                    op.add_solid_coupling(force, self.fluid.chi_ddot)
+                    with tr.span(self._coupling_span_name(solid_code)):
+                        op.add_solid_coupling(force, self.fluid.chi_ddot)
             for region, element, arr, source in self.source_terms:
                 if region == code:
                     amp = source.amplitude(t)
@@ -532,12 +627,13 @@ class GlobalSolver:
             for code in solid_forces:
                 solid_forces[code] = self.assembler(code, solid_forces[code])
         # Phase 3: finish the update.
-        for code in self.solid_codes:
-            f = self.solid[code]
-            f.accel[:] = solid_forces[code] / self.mass[code][:, None]
-            if code == RegionCode.CRUST_MANTLE and self.ocean_load is not None:
-                self.ocean_load.apply(f.accel, self.mass[code])
-            newmark.corrector(f.veloc, f.accel, dt)
+        with tr.span("solver.newmark_corrector", flops=self._newmark_flops):
+            for code in self.solid_codes:
+                f = self.solid[code]
+                f.accel[:] = solid_forces[code] / self.mass[code][:, None]
+                if code == RegionCode.CRUST_MANTLE and self.ocean_load is not None:
+                    self.ocean_load.apply(f.accel, self.mass[code])
+                newmark.corrector(f.veloc, f.accel, dt)
         self.timings.compute_s += time.perf_counter() - t0
         self.timings.compute_cpu_s += time.thread_time() - cpu0
 

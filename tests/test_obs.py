@@ -1,0 +1,431 @@
+"""Tests of the observability layer: tracer, metrics, exporters, report."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import SimulationParameters
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    maybe_tracer,
+    read_jsonl,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.export import chrome_trace_events, merge_records
+from repro.obs.report import (
+    build_phase_tree,
+    render_ipm_table,
+    render_phase_tree,
+    render_summary,
+)
+
+
+def small_params(**kw) -> SimulationParameters:
+    defaults = dict(
+        nex_xi=4,
+        nproc_xi=1,
+        ner_crust_mantle=2,
+        ner_outer_core=1,
+        ner_inner_core=1,
+        nstep_override=3,
+    )
+    defaults.update(kw)
+    return SimulationParameters(**defaults)
+
+
+class TestTracer:
+    def test_span_nesting(self):
+        tr = Tracer(pid=3, tid=1)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner"):
+                pass
+        assert len(tr.records) == 3
+        outer, in1, in2 = tr.records
+        assert outer.name == "outer" and outer.depth == 0
+        assert outer.parent == -1
+        assert in1.depth == in2.depth == 1
+        assert in1.parent == in2.parent == 0
+        assert all(r.pid == 3 and r.tid == 1 for r in tr.records)
+        # Children are contained within the parent's interval.
+        assert outer.start_s <= in1.start_s
+        assert in2.start_s + in2.duration_s <= outer.start_s + outer.duration_s
+
+    def test_exception_safety(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans closed despite the raise, and the stack unwound.
+        assert len(tr.records) == 2
+        assert all(r.duration_s >= 0.0 for r in tr.records)
+        assert tr._stack == []
+        # The tracer is reusable afterwards.
+        with tr.span("after"):
+            pass
+        assert tr.records[-1].name == "after"
+        assert tr.records[-1].parent == -1
+
+    def test_counters_attach_and_accumulate(self):
+        tr = Tracer()
+        with tr.span("work", flops=100.0) as sp:
+            sp.add(flops=50.0, bytes=8.0)
+            tr.add(bytes=8.0)  # innermost-span shorthand
+        rec = tr.records[0]
+        assert rec.counters == {"flops": 150.0, "bytes": 16.0}
+        assert tr.total("flops") == 150.0
+        assert tr.total("missing") == 0.0
+
+    def test_null_tracer_is_noop(self):
+        assert maybe_tracer(None) is NULL_TRACER
+        tr = maybe_tracer(None)
+        with tr.span("anything", flops=1.0) as sp:
+            sp.add(bytes=10.0)
+            tr.add(more=1.0)
+        assert tr.records == ()
+        assert tr.total("flops") == 0.0
+        assert not tr.enabled
+        # The same span object is reused: no per-call allocation.
+        assert tr.span("a") is tr.span("b")
+
+    def test_maybe_tracer_passthrough(self):
+        tr = Tracer()
+        assert maybe_tracer(tr) is tr
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_series(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").add(10)
+        reg.counter("bytes").add(5)
+        assert reg.counter("bytes").value == 15
+        reg.gauge("frac").set(0.25)
+        assert reg.gauge("frac").value == 0.25
+        h = reg.histogram("dt")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3 and h.mean == 2.0
+        assert h.min == 1.0 and h.max == 3.0
+        s = reg.timeseries("energy")
+        s.append(0, 1.0)
+        s.append(10, 2.0)
+        assert s.last == 2.0 and s.steps == [0, 10]
+
+    def test_merge_across_ranks(self):
+        regs = []
+        for rank in range(3):
+            reg = MetricsRegistry(rank=rank)
+            reg.counter("messages").add(10 * (rank + 1))
+            reg.gauge("comm.fraction").set(0.1 * rank, rank=rank)
+            reg.histogram("step_s").observe(float(rank))
+            reg.timeseries("energy").append(rank, float(rank))
+            regs.append(reg)
+        merged = MetricsRegistry.merged(regs)
+        assert merged.counter("messages").value == 60
+        assert merged.gauge("comm.fraction").per_rank == {
+            0: 0.0,
+            1: pytest.approx(0.1),
+            2: pytest.approx(0.2),
+        }
+        assert merged.histogram("step_s").count == 3
+        assert len(merged.timeseries("energy").values) == 3
+
+    def test_snapshot_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("n").add(1)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(3.0)
+        reg.timeseries("s").append(0, 4.0)
+        snap = reg.snapshot()
+        payload = json.loads(json.dumps(snap))
+        assert payload["counters"]["n"] == 1
+        assert payload["gauges"]["g"]["value"] == 2.0
+        assert payload["histograms"]["h"]["count"] == 1
+        assert payload["series"]["s"]["values"] == [4.0]
+        # NaN gauges serialise as null, not as invalid JSON.
+        reg2 = MetricsRegistry()
+        reg2.gauge("empty")
+        assert json.loads(json.dumps(reg2.snapshot()))["gauges"]["empty"][
+            "value"
+        ] is None
+
+
+class TestExporters:
+    def _tracer(self) -> Tracer:
+        tr = Tracer(pid=2, tid=0)
+        with tr.span("solver.run"):
+            with tr.span("kernel.elastic", flops=1000.0):
+                pass
+            with tr.span("halo.exchange") as sp:
+                sp.add(messages=4.0, bytes=256.0)
+        return tr
+
+    def test_chrome_trace_schema(self, tmp_path):
+        tr = self._tracer()
+        path = write_chrome_trace(tmp_path / "t.chrome.json", [tr])
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        for ev in events:
+            # The Trace Event Format fields Perfetto requires.
+            assert ev["ph"] == "X"
+            assert isinstance(ev["ts"], float) and ev["ts"] >= 0.0
+            assert isinstance(ev["dur"], float) and ev["dur"] >= 0.0
+            assert ev["pid"] == 2 and ev["tid"] == 0
+            assert isinstance(ev["name"], str)
+        by_name = {ev["name"]: ev for ev in events}
+        assert by_name["kernel.elastic"]["args"]["flops"] == 1000.0
+        assert by_name["halo.exchange"]["args"]["bytes"] == 256.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = self._tracer()
+        reg = MetricsRegistry()
+        reg.counter("solver.steps").add(3)
+        path = write_jsonl(
+            tmp_path / "t.jsonl", [tr], metrics=reg, meta={"title": "demo"}
+        )
+        records, metrics, meta = read_jsonl(path)
+        assert meta["title"] == "demo"
+        assert metrics["counters"]["solver.steps"] == 3
+        assert [r.to_dict() for r in records] == [
+            r.to_dict() for r in tr.records
+        ]
+        # The loaded records summarise identically to the live ones.
+        live = summarize(tr.records)
+        loaded = summarize(records)
+        assert loaded.total_bytes == live.total_bytes == 256
+        assert loaded.total_messages == live.total_messages == 4
+
+    def test_merge_records_orders_by_start(self):
+        a, b = Tracer(pid=0, epoch=0.0), Tracer(pid=1, epoch=0.0)
+        with b.span("late"):
+            pass
+        with a.span("later"):
+            pass
+        merged = merge_records([a, b])
+        starts = [r.start_s for r in merged]
+        assert starts == sorted(starts)
+        events = chrome_trace_events(merged)
+        assert {e["pid"] for e in events} == {0, 1}
+
+
+class TestReport:
+    def test_phase_tree_and_comm_split(self):
+        tr = Tracer(pid=0)
+        with tr.span("solver.run"):
+            for _ in range(3):
+                with tr.span("solver.timestep"):
+                    with tr.span("kernel.elastic", flops=100.0):
+                        pass
+                    with tr.span("halo.exchange") as sp:
+                        sp.add(messages=2.0, bytes=64.0)
+        summary = summarize(tr.records)
+        assert summary.total_messages == 6
+        assert summary.total_bytes == 192
+        assert summary.phase_counter("kernel.elastic", "flops") == 300.0
+        assert summary.ranks[0].comm_s > 0.0
+        assert summary.ranks[0].compute_s > 0.0
+        root = summary.tree
+        run = root.children["solver.run"]
+        step = run.children["solver.timestep"]
+        assert step.calls == 3
+        assert set(step.children) == {"kernel.elastic", "halo.exchange"}
+        # Inclusive time of the parent covers its children.
+        assert run.total_s >= step.total_s >= step.children[
+            "kernel.elastic"
+        ].total_s
+
+    def test_renderers_produce_text(self):
+        tr = Tracer()
+        with tr.span("solver.run"):
+            with tr.span("halo.exchange") as sp:
+                sp.add(messages=2.0, bytes=1024.0)
+        summary = summarize(tr.records)
+        assert "##IPM-analog" in render_ipm_table(summary)
+        assert "solver.run" in render_phase_tree(summary)
+        text = render_summary(tr.records, title="unit")
+        assert "unit" in text and "halo.exchange" in text
+
+    def test_report_cli_on_saved_trace(self, tmp_path, capsys):
+        from repro.obs.report import main
+
+        tr = Tracer()
+        with tr.span("solver.run"):
+            pass
+        reg = MetricsRegistry()
+        reg.counter("solver.steps").add(1)
+        reg.gauge("comm.fraction").set(0.03)
+        path = write_jsonl(tmp_path / "run.jsonl", [tr], metrics=reg)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "solver.run" in out
+        assert "comm.fraction" in out
+        assert main([]) == 2
+
+
+class TestTracedRuns:
+    def test_serial_traced_run_flops_match_model(self, tmp_path):
+        from repro.apps.merged_app import run_global_simulation
+        from repro.kernels.flops import (
+            acoustic_kernel_flops,
+            elastic_kernel_flops,
+        )
+        from repro.model.prem import RegionCode
+
+        params = small_params()
+        result = run_global_simulation(params, trace=True)
+        assert result.tracer is not None
+        summary = summarize(result.tracer.records)
+        n_steps = params.nstep_override
+        expected_elastic = n_steps * sum(
+            elastic_kernel_flops(result.mesh.regions[code].nspec)
+            for code in (RegionCode.CRUST_MANTLE, RegionCode.INNER_CORE)
+        )
+        traced_elastic = summary.phase_counter("kernel.elastic", "flops")
+        assert traced_elastic == pytest.approx(expected_elastic, rel=0.01)
+        expected_acoustic = n_steps * acoustic_kernel_flops(
+            result.mesh.regions[RegionCode.OUTER_CORE].nspec
+        )
+        traced_acoustic = summary.phase_counter("kernel.acoustic", "flops")
+        assert traced_acoustic == pytest.approx(expected_acoustic, rel=0.01)
+        # Metrics sampled per timestep.
+        assert result.metrics.counter("solver.steps").value == n_steps
+        series = result.metrics.timeseries("solver.max_displacement_m")
+        assert len(series.values) == n_steps
+        # Both exporters produce loadable files.
+        jsonl, chrome = result.export_trace(tmp_path)
+        assert jsonl.exists() and chrome.exists()
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_untraced_run_has_no_telemetry(self):
+        from repro.apps.merged_app import run_global_simulation
+
+        result = run_global_simulation(small_params(nstep_override=1))
+        assert result.tracer is None and result.metrics is None
+
+    @pytest.mark.slow
+    def test_distributed_traced_run_matches_comm_stats(self):
+        from repro.parallel import run_distributed_simulation
+        from repro.perf import report_from_tracers
+
+        params = small_params(nstep_override=3)
+        result = run_distributed_simulation(params, n_steps=3, trace=True)
+        assert result.tracers is not None and len(result.tracers) == 6
+        # The tracer-backed IPM view agrees exactly with the raw CommStats
+        # on halo traffic volume (every byte is counted in both places).
+        report = report_from_tracers(result.tracers)
+        assert report.total_bytes == sum(
+            s.bytes_sent + s.bytes_received for s in result.comm_stats
+        )
+        assert report.total_messages == sum(
+            s.messages_sent + s.messages_received for s in result.comm_stats
+        )
+        assert report.n_ranks == 6
+        # Counter aggregation across virtual ranks.
+        merged = result.merged_metrics()
+        assert merged.counter("solver.steps").value == 6 * 3
+        assert merged.counter("comm.bytes").value == report.total_bytes
+        fractions = merged.gauge("comm.fraction").per_rank
+        assert set(fractions) == set(range(6))
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+
+
+class TestIPMView:
+    def test_ipm_report_counts_both_directions(self):
+        from repro.parallel.comm import CommStats
+        from repro.perf import report_from_distributed
+
+        class FakeResult:
+            comm_stats = [
+                CommStats(
+                    messages_sent=3,
+                    bytes_sent=300,
+                    messages_received=2,
+                    bytes_received=200,
+                    comm_time_s=0.5,
+                )
+            ]
+            rank_compute_s = [1.5]
+
+        report = report_from_distributed(FakeResult())
+        assert report.total_messages == 5
+        assert report.total_bytes == 500
+        assert report.comm_fraction == pytest.approx(0.25)
+
+    def test_ipm_report_json_round_trip(self):
+        from repro.perf import IPMReport
+
+        report = IPMReport(
+            n_ranks=6,
+            total_wall_s=2.0,
+            total_comm_s=0.5,
+            total_compute_s=1.5,
+            total_messages=100,
+            total_bytes=12345,
+        )
+        clone = IPMReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.comm_fraction == report.comm_fraction
+
+    def test_ipm_profiler_is_tracer_backed(self):
+        from repro.perf import IPMProfiler
+
+        ipm = IPMProfiler()
+        with ipm.region("compute"):
+            math.sqrt(2.0)
+        with ipm.region("compute"):
+            pass
+        with ipm.region("mpi"):
+            pass
+        assert [r.name for r in ipm.tracer.records] == [
+            "compute",
+            "compute",
+            "mpi",
+        ]
+        summary = ipm.summary()
+        assert summary["compute"]["calls"] == 2
+        assert summary["mpi"]["calls"] == 1
+
+
+class TestInstrumentedComponents:
+    def test_mesher_spans(self):
+        from repro.mesh.mesher import build_global_mesh
+
+        tr = Tracer()
+        mesh = build_global_mesh(small_params(), tracer=tr)
+        names = {r.name for r in tr.records}
+        assert {
+            "mesher.generate",
+            "mesher.slice",
+            "mesher.region",
+            "mesher.geometry",
+            "mesher.numbering",
+            "mesher.materials",
+            "mesher.merge",
+        } <= names
+        summary = summarize(tr.records)
+        gen = summary.tree.children["mesher.generate"]
+        assert gen.counters["elements"] == mesh.nspec_total
+
+    def test_solver_accepts_tracer_and_runs(self):
+        from repro.mesh.mesher import build_global_mesh
+        from repro.solver.solver import GlobalSolver
+
+        params = small_params(nstep_override=2)
+        mesh = build_global_mesh(params)
+        tr = Tracer()
+        solver = GlobalSolver(mesh, params, tracer=tr)
+        solver.run(n_steps=2)
+        names = [r.name for r in tr.records]
+        assert names.count("solver.timestep") == 2
+        assert "kernel.elastic" in names
+        assert "kernel.acoustic" in names
+        assert "coupling.cmb" in names
