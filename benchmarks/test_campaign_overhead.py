@@ -1,0 +1,93 @@
+"""CAMP-OVH — Mesh-cache speedup and campaign-orchestration overhead guards.
+
+The campaign layer's economic claim is that the content-addressed mesh
+cache amortises the expensive half of a simulation request across a
+whole batch of events: a cache hit must be at least 5x faster than a
+cold mesh build (in practice it is orders of magnitude faster — the hit
+is an O(1) dict lookup).  A second guard keeps the orchestration wrapper
+itself honest: queue + worker + retry bookkeeping around a no-op job
+body must stay in single-digit milliseconds per job.
+
+Timing is min-of-repeats, which suppresses scheduler noise: the minimum
+is the cleanest estimate of the true cost of each variant.
+"""
+
+import time
+
+from repro.campaign import JobSpec, MeshCache, RetryPolicy, WorkerPool
+from repro.mesh import build_global_mesh
+
+from conftest import small_params
+
+SPEEDUP_FLOOR = 5.0
+REPEATS = 5
+HIT_BATCH = 50
+MAX_ORCHESTRATION_S_PER_JOB = 0.01
+
+
+def _best_time(fn, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_cache_hit_at_least_5x_faster_than_cold_build(record):
+    params = small_params(nex=6)
+    cache = MeshCache()
+    cache.get(params)  # warm: the one build the whole campaign pays for
+
+    t_cold = _best_time(lambda: build_global_mesh(params))
+
+    def hits():
+        for _ in range(HIT_BATCH):
+            mesh, hit = cache.get(params)
+            assert hit
+
+    t_hit = _best_time(hits) / HIT_BATCH
+    speedup = t_cold / t_hit
+
+    record(
+        cold_build_s=round(t_cold, 4),
+        cache_hit_s=t_hit,
+        speedup=round(speedup, 1),
+        floor=SPEEDUP_FLOOR,
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"mesh-cache hit only {speedup:.1f}x faster than a cold build; "
+        f"the campaign amortisation claim needs >= {SPEEDUP_FLOOR}x"
+    )
+
+
+def test_orchestration_overhead_per_job(record):
+    """Queue/pool/retry bookkeeping around an empty job body is cheap."""
+    n_jobs = 20
+    params = small_params()
+
+    def noop_runner(job, mesh, tracer, metrics):
+        return {"seismograms": None, "dt": 0.1}
+
+    def campaign():
+        pool = WorkerPool(
+            n_workers=2,
+            mesh_cache=MeshCache(builder=lambda p: object()),
+            retry_policy=RetryPolicy(base_delay_s=0.0),
+            runner=noop_runner,
+        )
+        results = pool.run(
+            [JobSpec(name=f"j{i}", params=params) for i in range(n_jobs)]
+        )
+        assert all(r.succeeded for r in results)
+
+    campaign()  # warm-up
+    per_job = _best_time(campaign) / n_jobs
+    record(
+        orchestration_s_per_job=per_job,
+        limit_s=MAX_ORCHESTRATION_S_PER_JOB,
+    )
+    assert per_job < MAX_ORCHESTRATION_S_PER_JOB, (
+        f"campaign orchestration costs {per_job * 1e3:.2f} ms/job, over "
+        f"the {MAX_ORCHESTRATION_S_PER_JOB * 1e3:.0f} ms guard"
+    )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Campaign demo: many events, one mesh, segments, retries, provenance.
+
+Runs a small campaign of global simulations the way the paper's
+week-long production runs are actually operated: a worker pool drains a
+job queue, every event at the shared resolution reuses one cached mesh,
+one long job runs as checkpointed segments (bit-identical to an
+uninterrupted run), one job survives an injected transient failure via
+retry-with-backoff, and every outcome lands in a JSON result store.
+
+Run:  python examples/campaign_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import SimulationParameters
+from repro.apps import default_source, default_stations
+from repro.campaign import (
+    JobSpec,
+    MeshCache,
+    ResultStore,
+    RetryPolicy,
+    WorkerPool,
+    render_campaign_table,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def main() -> None:
+    params = SimulationParameters(
+        nex_xi=6,            # coarse demo mesh shared by every event
+        nproc_xi=1,
+        ner_crust_mantle=2,
+        ner_outer_core=1,
+        ner_inner_core=1,
+        nstep_override=20,
+        attenuation=True,
+    )
+    # Four "earthquakes" at different depths, one mesh resolution.
+    jobs = [
+        JobSpec(
+            name=f"event-{depth_km:03.0f}km",
+            params=params,
+            sources=[default_source(depth_km=float(depth_km))],
+            stations=default_stations(),
+            # The deepest event is long enough to need segmenting.
+            n_segments=3 if depth_km == 600 else 1,
+            # Drill the retry path: one event hits a transient fault.
+            inject_failures=1 if depth_km == 300 else 0,
+        )
+        for depth_km in (100, 300, 450, 600)
+    ]
+
+    store_dir = Path(tempfile.mkdtemp(prefix="campaign-demo-"))
+    metrics = MetricsRegistry()
+    cache = MeshCache(metrics=metrics)
+    pool = WorkerPool(
+        n_workers=2,
+        mesh_cache=cache,
+        store=ResultStore(store_dir),
+        metrics=metrics,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.1),
+    )
+    results = pool.run(jobs)
+
+    print(render_campaign_table(
+        [r.to_record() for r in results], cache_stats=cache.stats()
+    ))
+    print(f"store: {store_dir}  (inspect with "
+          f"`python -m repro.campaign report {store_dir}`)")
+
+    # The amortisation and fault-tolerance claims, checked live:
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == len(jobs) - 1
+    flaky = next(r for r in results if r.job.inject_failures)
+    assert flaky.succeeded and flaky.retries == 1
+    peak = max(float(np.abs(r.seismograms).max()) for r in results)
+    print(f"mesh built once, reused {stats['hits']}x; "
+          f"flaky job recovered after {flaky.retries} retry; "
+          f"peak displacement across the campaign {peak:.3e} m")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,18 +88,42 @@ def run_global_simulation(
     n_steps: int | None = None,
     track_energy: bool = False,
     trace: bool = False,
+    mesh: GlobalMesh | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> GlobalSimulationResult:
     """Mesh and solve in one process with in-memory handoff.
 
     With ``trace=True`` the whole pipeline records into one tracer and
     metrics registry (returned on the result; see
     :meth:`GlobalSimulationResult.export_trace`).  Tracing is off by
-    default and the disabled path is a no-op tracer.
+    default and the disabled path is a no-op tracer.  An existing
+    ``tracer``/``metrics`` pair (e.g. a campaign's shared registry) may be
+    passed instead and implies tracing into it.
+
+    ``mesh`` short-circuits the mesher with a pre-built global mesh — the
+    campaign layer's content-addressed cache uses this to amortise one
+    expensive mesh across many events.  The mesh must have been built from
+    mesh-equivalent parameters; a mismatch is rejected.
     """
-    tracer = Tracer(pid=0) if trace else None
-    metrics = MetricsRegistry() if trace else None
+    if tracer is None and trace:
+        tracer = Tracer(pid=0)
+    if metrics is None and trace:
+        metrics = MetricsRegistry()
     t0 = time.perf_counter()
-    mesh = build_global_mesh(params, tracer=tracer)
+    if mesh is None:
+        mesh = build_global_mesh(params, tracer=tracer)
+    else:
+        # Lazy import: campaign sits above apps in the layer diagram.
+        from ..campaign.mesh_cache import mesh_cache_key
+
+        if mesh_cache_key(mesh.params) != mesh_cache_key(params):
+            raise ValueError(
+                "pre-built mesh was generated from mesh-incompatible "
+                "parameters; rebuild or fix the cache key"
+            )
+        if metrics is not None:
+            metrics.counter("mesher.reused").add(1)
     mesher_s = time.perf_counter() - t0
     t1 = time.perf_counter()
     solver = GlobalSolver(

@@ -1,0 +1,34 @@
+"""Typed campaign failures: what a retry policy can and cannot catch.
+
+The fault model follows the paper's operational reality: week-long
+production runs on 32K+ processors *will* lose jobs to node failures,
+wall-limit kills, and filesystem hiccups.  Those are *transient* — the
+same job resubmitted usually succeeds — and are distinguished here from
+*permanent* failures (bad parameters, shape mismatches) that no amount
+of retrying fixes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CampaignError",
+    "TransientJobError",
+    "JobTimeoutError",
+    "InjectedFailure",
+]
+
+
+class CampaignError(RuntimeError):
+    """Base class for campaign-layer failures."""
+
+
+class TransientJobError(CampaignError):
+    """A failure expected to clear on resubmission (lost node, I/O blip)."""
+
+
+class JobTimeoutError(TransientJobError):
+    """A job exceeded its per-job wall limit (treated as transient)."""
+
+
+class InjectedFailure(TransientJobError):
+    """A deliberately injected fault (fault-tolerance tests and drills)."""

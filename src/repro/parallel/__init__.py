@@ -2,7 +2,12 @@
 
 from .comm import CommStats, VirtualCluster, VirtualComm
 from .halo import HaloExchanger, RegionHalo, build_halos
-from .launcher import DistributedResult, run_distributed_simulation
+from .launcher import (
+    DistributedResult,
+    RankFailedError,
+    RankTimeoutError,
+    run_distributed_simulation,
+)
 
 __all__ = [
     "CommStats",
@@ -12,5 +17,7 @@ __all__ = [
     "RegionHalo",
     "build_halos",
     "DistributedResult",
+    "RankFailedError",
+    "RankTimeoutError",
     "run_distributed_simulation",
 ]

@@ -235,12 +235,16 @@ class VirtualCluster:
             if t.is_alive():
                 raise TimeoutError("virtual cluster run timed out")
         # Prefer the root-cause exception: barrier aborts on other ranks are
-        # secondary effects of the first real failure.
-        real = [e for e in errors if e is not None
+        # secondary effects of the first real failure.  The failing rank is
+        # attached so callers (the launcher) can wrap it in a typed error.
+        real = [(r, e) for r, e in enumerate(errors) if e is not None
                 and not isinstance(e, threading.BrokenBarrierError)]
         if real:
-            raise real[0]
-        for exc in errors:
+            rank, exc = real[0]
+            exc.failed_rank = rank
+            raise exc
+        for rank, exc in enumerate(errors):
             if exc is not None:
+                exc.failed_rank = rank
                 raise exc
         return results

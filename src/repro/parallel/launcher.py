@@ -28,7 +28,30 @@ from ..solver.solver import GlobalSolver
 from .comm import CommStats, VirtualCluster, VirtualComm
 from .halo import HaloExchanger, build_halos
 
-__all__ = ["DistributedResult", "run_distributed_simulation"]
+__all__ = [
+    "DistributedResult",
+    "RankFailedError",
+    "RankTimeoutError",
+    "run_distributed_simulation",
+]
+
+
+class RankFailedError(RuntimeError):
+    """One (virtual) MPI rank died during a distributed run.
+
+    Typed so a campaign retry policy can treat a rank failure as
+    transient and re-submit the job; ``rank`` is the failing rank (-1 if
+    unknown) and ``cause`` the original exception.
+    """
+
+    def __init__(self, rank: int, cause: BaseException):
+        super().__init__(f"rank {rank} failed: {cause}")
+        self.rank = rank
+        self.cause = cause
+
+
+class RankTimeoutError(RankFailedError):
+    """A distributed run exceeded its wall limit (a hung or lost rank)."""
 
 
 @dataclass
@@ -215,7 +238,14 @@ def run_distributed_simulation(
         return comm.gather(payload, root=0)
 
     cluster = VirtualCluster(grid.nproc_total)
-    results = cluster.run(program, timeout=timeout_s)
+    try:
+        results = cluster.run(program, timeout=timeout_s)
+    except TimeoutError as exc:
+        raise RankTimeoutError(getattr(exc, "failed_rank", -1), exc) from exc
+    except RankFailedError:
+        raise
+    except Exception as exc:
+        raise RankFailedError(getattr(exc, "failed_rank", -1), exc) from exc
     gathered = results[0]
     names: list[str] = []
     data_blocks: list[np.ndarray] = []

@@ -1,6 +1,6 @@
 """The solver: time marching, assembly, coupling, sources, receivers."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .movie import SurfaceMovieRecorder
 from .assembly import (
     assemble_mass_matrix,
@@ -27,6 +27,7 @@ from .sources import (
 )
 
 __all__ = [
+    "CheckpointError",
     "load_checkpoint",
     "save_checkpoint",
     "SurfaceMovieRecorder",

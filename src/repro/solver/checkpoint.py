@@ -4,24 +4,48 @@ The paper's production runs take "about 1 week ... of dedicated 32K or
 more processor supercomputer time" — far beyond any queue's wall limit, so
 runs of that class live and die by checkpointing.  This module saves and
 restores the complete dynamic state of a :class:`GlobalSolver` (fields of
-every region, attenuation memory variables, step counter) so a run split
-into segments is bit-identical to an uninterrupted one — the property the
-tests verify.
+every region, attenuation memory variables, step counter, and — since
+format v2 — the partially-recorded seismogram buffers with their step
+cursor) so a run split into segments is bit-identical to an uninterrupted
+one *including its seismograms* — the property the tests verify.
+
+Writes are crash-safe: the NPZ is written to a temporary file in the
+target directory and atomically renamed into place, so a job killed
+mid-checkpoint never leaves a truncated file that would block restart.
+Unreadable or truncated checkpoints are rejected with
+:class:`CheckpointError`.
 """
 
 from __future__ import annotations
 
+import math
+import os
+import tempfile
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Format versions :func:`load_checkpoint` still understands.
+_READABLE_VERSIONS = (1, 2)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt, truncated, or otherwise unreadable."""
 
 
 def save_checkpoint(solver, path: str | Path, step: int) -> Path:
-    """Write the solver's dynamic state to a compressed NPZ file."""
+    """Write the solver's dynamic state to a compressed NPZ file.
+
+    The write is atomic: data goes to a temp file in the same directory
+    which is then :func:`os.replace`-d over ``path``, so readers never see
+    a partially-written checkpoint and a crash mid-write leaves any
+    previous checkpoint at ``path`` intact.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {
@@ -41,57 +65,139 @@ def save_checkpoint(solver, path: str | Path, step: int) -> Path:
         arrays["chi_ddot"] = solver.fluid.chi_ddot
     for code, atten in solver.attenuation.items():
         arrays[f"zeta_{code}"] = atten.zeta
-    np.savez_compressed(path, **arrays)
+    # v2: partially-recorded seismograms plus the recording cursor, so a
+    # segmented run's seismograms match an uninterrupted run exactly.
+    if solver.receiver_set is not None:
+        rs = solver.receiver_set
+        arrays["seis_data"] = rs.data
+        arrays["seis_step"] = np.asarray(int(rs.step_cursor))
+        arrays["seis_n_steps"] = np.asarray(int(rs.n_steps))
+
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            # Passing an open file object stops numpy from appending
+            # ``.npz`` to the temp name.
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def _read_arrays(path: Path) -> dict[str, np.ndarray]:
+    """Load every array of the NPZ, rejecting corrupt/truncated files."""
+    try:
+        with np.load(path, allow_pickle=False) as f:
+            # Force full decompression of every member: a file truncated
+            # mid-write fails here instead of at first (lazy) access.
+            return {name: np.array(f[name]) for name in f.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or truncated: {exc}"
+        ) from exc
 
 
 def load_checkpoint(solver, path: str | Path) -> int:
     """Restore a solver's dynamic state; returns the checkpointed step.
 
     The solver must have been constructed with the identical mesh and
-    parameters; shape mismatches are rejected loudly.
+    parameters; shape mismatches are rejected loudly.  Format v1 files
+    (fields only, no seismogram buffers) still load, with a warning that
+    partially-recorded seismograms were not restored.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as f:
-        version = int(f["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        saved_dt = float(f["dt"])
-        if abs(saved_dt - solver.dt) > 1e-12 * solver.dt:
-            raise ValueError(
-                f"checkpoint dt {saved_dt} does not match solver dt {solver.dt}"
-            )
-        saved_codes = set(int(c) for c in f["solid_codes"])
-        if saved_codes != set(solver.solid_codes):
-            raise ValueError(
-                f"checkpoint regions {saved_codes} do not match solver "
-                f"regions {set(solver.solid_codes)}"
-            )
-        for code in solver.solid_codes:
-            field = solver.solid[code]
-            for name, target in (
-                (f"displ_{code}", field.displ),
-                (f"veloc_{code}", field.veloc),
-                (f"accel_{code}", field.accel),
-            ):
-                data = f[name]
-                if data.shape != target.shape:
-                    raise ValueError(
-                        f"checkpoint array {name} has shape {data.shape}, "
-                        f"solver expects {target.shape}"
-                    )
-                target[:] = data
-        if solver.fluid is not None:
-            if "chi" not in f:
-                raise ValueError("checkpoint lacks the fluid state")
-            solver.fluid.chi[:] = f["chi"]
-            solver.fluid.chi_dot[:] = f["chi_dot"]
-            solver.fluid.chi_ddot[:] = f["chi_ddot"]
-        for code, atten in solver.attenuation.items():
-            name = f"zeta_{code}"
+    f = _read_arrays(path)
+    if "version" not in f or "step" not in f:
+        raise CheckpointError(f"checkpoint {path} lacks the version/step header")
+    version = int(f["version"])
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    saved_dt = float(f["dt"])
+    # Relative comparison via math.isclose: tolerates the dt == 0 edge
+    # (both zero compares equal; zero vs. non-zero is rejected) instead of
+    # the old ``abs(diff) > 1e-12 * solver.dt`` which degenerated at 0.
+    if not math.isclose(saved_dt, solver.dt, rel_tol=1e-12, abs_tol=0.0):
+        raise ValueError(
+            f"checkpoint dt {saved_dt} does not match solver dt {solver.dt}"
+        )
+    saved_codes = set(int(c) for c in f["solid_codes"])
+    if saved_codes != set(solver.solid_codes):
+        raise ValueError(
+            f"checkpoint regions {saved_codes} do not match solver "
+            f"regions {set(solver.solid_codes)}"
+        )
+    for code in solver.solid_codes:
+        field = solver.solid[code]
+        for name, target in (
+            (f"displ_{code}", field.displ),
+            (f"veloc_{code}", field.veloc),
+            (f"accel_{code}", field.accel),
+        ):
             if name not in f:
+                raise CheckpointError(f"checkpoint lacks array {name}")
+            data = f[name]
+            if data.shape != target.shape:
                 raise ValueError(
-                    f"checkpoint lacks attenuation memory for region {code}"
+                    f"checkpoint array {name} has shape {data.shape}, "
+                    f"solver expects {target.shape}"
                 )
-            atten.zeta[:] = f[name]
-        return int(f["step"])
+            target[:] = data
+    if solver.fluid is not None:
+        if "chi" not in f:
+            raise ValueError("checkpoint lacks the fluid state")
+        solver.fluid.chi[:] = f["chi"]
+        solver.fluid.chi_dot[:] = f["chi_dot"]
+        solver.fluid.chi_ddot[:] = f["chi_ddot"]
+    for code, atten in solver.attenuation.items():
+        name = f"zeta_{code}"
+        if name not in f:
+            raise ValueError(
+                f"checkpoint lacks attenuation memory for region {code}"
+            )
+        atten.zeta[:] = f[name]
+    # -- Seismogram buffers (format v2) ------------------------------------
+    if "seis_data" in f:
+        if solver.receiver_set is None:
+            raise ValueError(
+                "checkpoint carries seismogram buffers but the solver has "
+                "no receivers; rebuild the solver with the same stations"
+            )
+        rs = solver.receiver_set
+        data = f["seis_data"]
+        if data.shape[0] != len(rs.receivers) or data.shape[2] != 3:
+            raise ValueError(
+                f"checkpoint seismogram buffer {data.shape} does not match "
+                f"the solver's {len(rs.receivers)} receivers"
+            )
+        # The restored run keeps the checkpointed recording horizon: the
+        # buffer is rebuilt at the saved length (the solver's default
+        # n_steps need not match the campaign's total).
+        if data.shape[1] != rs.n_steps:
+            from .receivers import ReceiverSet
+
+            rs = ReceiverSet(rs.receivers, data.shape[1], rs.dt)
+            solver.receiver_set = rs
+        rs.data[:] = data
+        rs.step_cursor = int(f["seis_step"])
+    elif version >= 2 and solver.receiver_set is not None:
+        raise ValueError(
+            "checkpoint has no seismogram buffers but the solver records "
+            "receivers; the segmented seismograms would be wrong"
+        )
+    elif version == 1 and solver.receiver_set is not None:
+        warnings.warn(
+            f"checkpoint {path} is format v1 (fields only): partially-"
+            "recorded seismogram buffers were not restored, so a resumed "
+            "run's seismograms will restart from zero",
+            stacklevel=2,
+        )
+    return int(f["step"])

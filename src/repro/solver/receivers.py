@@ -87,6 +87,20 @@ class ReceiverSet:
         self._step += 1
 
     @property
+    def step_cursor(self) -> int:
+        """Next step to be recorded (rows below this are already filled)."""
+        return self._step
+
+    @step_cursor.setter
+    def step_cursor(self, step: int) -> None:
+        step = int(step)
+        if not 0 <= step <= self.n_steps:
+            raise ValueError(
+                f"step cursor {step} outside [0, {self.n_steps}]"
+            )
+        self._step = step
+
+    @property
     def times(self) -> np.ndarray:
         return np.arange(self.n_steps) * self.dt
 

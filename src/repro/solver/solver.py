@@ -445,14 +445,38 @@ class GlobalSolver:
         track_energy: bool = False,
         energy_every: int = 10,
         callbacks: list | None = None,
+        start_step: int = 0,
+        stop_step: int | None = None,
     ) -> SolverResult:
         """March the coupled system and return seismograms and timings.
 
         ``callbacks`` are invoked as ``cb(step, solver)`` after every step
         (movie recorders, checkpoint writers, custom probes).
+
+        ``n_steps`` is the length of the run's time grid (seismogram
+        buffers are sized to it); marching covers ``[start_step,
+        stop_step)`` — by default the whole grid.  A checkpointed segment
+        restores its state, then runs with ``start_step`` at the resume
+        point and ``stop_step`` at its wall-limit boundary; the restored
+        receiver buffers are preserved, not re-allocated.
         """
         n_steps = int(n_steps) if n_steps is not None else self.n_steps
+        start_step = int(start_step)
+        stop = n_steps if stop_step is None else int(stop_step)
+        if not 0 <= start_step <= stop <= n_steps:
+            raise ValueError(
+                f"need 0 <= start_step <= stop_step <= n_steps, got "
+                f"[{start_step}, {stop}) of {n_steps}"
+            )
         if self.receiver_set is not None and n_steps != self.receiver_set.n_steps:
+            if start_step > 0:
+                # A resumed segment must keep the restored buffers: a
+                # re-allocation here would silently drop recorded rows.
+                raise ValueError(
+                    f"resumed run (start_step={start_step}) expects the "
+                    f"receiver buffer length {self.receiver_set.n_steps} "
+                    f"to match n_steps {n_steps}"
+                )
             self.receiver_set = ReceiverSet(
                 self.receiver_set.receivers, n_steps, self.dt
             )
@@ -460,8 +484,8 @@ class GlobalSolver:
         tr = self.tracer
         metrics = self.metrics
         t_start = time.perf_counter()
-        with tr.span("solver.run", steps=n_steps):
-            for step in range(n_steps):
+        with tr.span("solver.run", steps=stop - start_step):
+            for step in range(start_step, stop):
                 t = step * self.dt
                 with tr.span("solver.timestep"):
                     self._one_step(t)
@@ -497,7 +521,7 @@ class GlobalSolver:
                         step, max_displ
                     )
         self.timings.total_s = time.perf_counter() - t_start
-        self.timings.steps = n_steps
+        self.timings.steps = stop - start_step
         return SolverResult(
             receivers=self.receiver_set,
             timings=self.timings,
