@@ -68,6 +68,10 @@ class SimulationParameters:
     station_location: str = "closest_point"
     io_mode: str = "merged"
     use_padding: bool = True
+    #: Overlap halo communication with interior-element computation in
+    #: distributed runs (non-blocking exchange; bit-identical to the
+    #: blocking reference path, which remains the default).
+    overlap_comm: bool = False
 
     # Time marching.
     record_length_s: float = 200.0
@@ -162,6 +166,7 @@ class SimulationParameters:
             "STATION_LOCATION": self.station_location,
             "IO_MODE": self.io_mode,
             "USE_PADDING": self.use_padding,
+            "OVERLAP_COMM": self.overlap_comm,
             "RECORD_LENGTH_S": self.record_length_s,
             "COURANT": self.courant,
             "NSTEP_OVERRIDE": self.nstep_override,
@@ -192,6 +197,7 @@ class SimulationParameters:
             "STATION_LOCATION": "station_location",
             "IO_MODE": "io_mode",
             "USE_PADDING": "use_padding",
+            "OVERLAP_COMM": "overlap_comm",
             "RECORD_LENGTH_S": "record_length_s",
             "COURANT": "courant",
             "NSTEP_OVERRIDE": "nstep_override",

@@ -27,6 +27,7 @@ from .mesher import (
     build_global_mesh,
     build_slice_mesh,
 )
+from .partition import ElementSplit, split_elements, split_slice_elements
 from .numbering import (
     apply_global_permutation,
     average_global_stride,
@@ -63,6 +64,9 @@ __all__ = [
     "assign_materials",
     "build_global_mesh",
     "build_slice_mesh",
+    "ElementSplit",
+    "split_elements",
+    "split_slice_elements",
     "apply_global_permutation",
     "average_global_stride",
     "build_global_numbering",

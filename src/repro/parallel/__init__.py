@@ -1,19 +1,26 @@
 """Virtual MPI: communicators, halo assembly, distributed launcher."""
 
-from .comm import CommStats, VirtualCluster, VirtualComm
-from .halo import HaloExchanger, RegionHalo, build_halos
-from .launcher import (
-    DistributedResult,
-    RankFailedError,
-    RankTimeoutError,
-    run_distributed_simulation,
+from .comm import (
+    CommStats,
+    RecvRequest,
+    Request,
+    SendRequest,
+    VirtualCluster,
+    VirtualComm,
 )
+from .errors import RankFailedError, RankTimeoutError
+from .halo import HaloExchanger, PendingExchange, RegionHalo, build_halos
+from .launcher import DistributedResult, run_distributed_simulation
 
 __all__ = [
     "CommStats",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
     "VirtualCluster",
     "VirtualComm",
     "HaloExchanger",
+    "PendingExchange",
     "RegionHalo",
     "build_halos",
     "DistributedResult",

@@ -7,6 +7,25 @@ through thread-safe mailboxes.  Every operation is accounted — message
 counts, byte volumes, and wall-clock time blocked in communication — which
 is exactly the data the paper's IPM measurements provide for the
 communication model of Figure 6.
+
+Two point-to-point styles are offered, mirroring MPI:
+
+* **blocking**: :meth:`VirtualComm.send` / :meth:`VirtualComm.recv` —
+  the send is eager (buffered), the receive blocks until matched;
+* **non-blocking**: :meth:`VirtualComm.isend` / :meth:`VirtualComm.irecv`
+  return request handles completed by ``wait``/:meth:`VirtualComm.waitall`.
+  This is what the comm/compute-overlapped time loop uses: post the halo
+  messages, compute interior elements while they are in flight, then wait.
+  Byte/message accounting is identical to the blocking path (sends are
+  counted when posted, receives when completed); only the *blocked* time
+  inside ``wait`` lands in ``comm_time_s``, so overlap genuinely shrinks
+  the measured communication time.
+
+A receive that never completes raises the typed
+:class:`~repro.parallel.errors.RankTimeoutError`.  The per-receive
+deadline defaults to the cluster's program timeout (``VirtualCluster.run
+(..., timeout=...)``) rather than a private constant, so a single lost
+message and a hung program surface through the same typed error.
 """
 
 from __future__ import annotations
@@ -18,7 +37,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CommStats", "VirtualComm", "VirtualCluster"]
+from .errors import RankTimeoutError
+
+__all__ = [
+    "CommStats",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "VirtualComm",
+    "VirtualCluster",
+]
 
 
 @dataclass
@@ -32,6 +60,54 @@ class CommStats:
     comm_time_s: float = 0.0
     barriers: int = 0
     allreduces: int = 0
+
+
+class Request:
+    """Handle of one non-blocking operation (MPI_Request analogue)."""
+
+    def wait(self, timeout: float | None = None):
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Completed-at-post send handle: virtual sends are eager (buffered),
+    so ``isend`` finishes immediately; the handle exists for API symmetry
+    (``waitall`` over mixed send/recv request lists)."""
+
+    __slots__ = ()
+
+    def wait(self, timeout: float | None = None) -> None:
+        return None
+
+    @property
+    def done(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """In-flight receive: ``wait()`` blocks until the matching message
+    arrives, accounts it, and returns the payload (idempotent)."""
+
+    __slots__ = ("_comm", "source", "tag", "_data")
+
+    def __init__(self, comm: "VirtualComm", source: int, tag: int):
+        self._comm = comm
+        self.source = source
+        self.tag = tag
+        self._data: np.ndarray | None = None
+
+    def wait(self, timeout: float | None = None) -> np.ndarray:
+        if self._data is None:
+            self._data = self._comm._complete_recv(self.source, self.tag, timeout)
+        return self._data
+
+    @property
+    def done(self) -> bool:
+        return self._data is not None
 
 
 class VirtualComm:
@@ -56,11 +132,52 @@ class VirtualComm:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += data.nbytes
 
-    def recv(self, source: int, tag: int = 0, timeout: float = 60.0) -> np.ndarray:
-        """Blocking receive matched on (source, tag)."""
+    def recv(
+        self, source: int, tag: int = 0, timeout: float | None = None
+    ) -> np.ndarray:
+        """Blocking receive matched on (source, tag).
+
+        ``timeout=None`` uses the cluster's per-receive deadline (which
+        defaults to the program timeout of :meth:`VirtualCluster.run`);
+        expiry raises :class:`~repro.parallel.errors.RankTimeoutError`.
+        """
+        return self._complete_recv(source, tag, timeout)
+
+    def isend(self, dest: int, payload: np.ndarray, tag: int = 0) -> SendRequest:
+        """Non-blocking send.  Virtual sends are eager, so the returned
+        request is already complete; accounting matches :meth:`send`."""
+        self.send(dest, payload, tag)
+        return SendRequest()
+
+    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+        """Post a non-blocking receive; complete it with ``wait()``.
+
+        Nothing is matched (and nothing accounted) until the wait — the
+        overlap pattern is ``req = irecv(...); <compute>; data = req.wait()``
+        so only genuinely blocked time lands in ``comm_time_s``.
+        """
+        return RecvRequest(self, source, tag)
+
+    def waitall(
+        self, requests: list[Request], timeout: float | None = None
+    ) -> list:
+        """Complete every request, returning their results in order
+        (payload arrays for receives, ``None`` for sends)."""
+        return [req.wait(timeout) for req in requests]
+
+    def _complete_recv(
+        self, source: int, tag: int, timeout: float | None
+    ) -> np.ndarray:
+        effective = (
+            timeout if timeout is not None else self._cluster.recv_timeout_s
+        )
         t0 = time.perf_counter()
-        data = self._cluster._match(self.rank, source, tag, timeout)
-        self.stats.comm_time_s += time.perf_counter() - t0
+        try:
+            data = self._cluster._match(self.rank, source, tag, effective)
+        except TimeoutError as exc:
+            raise RankTimeoutError(self.rank, exc) from exc
+        finally:
+            self.stats.comm_time_s += time.perf_counter() - t0
         self.stats.messages_received += 1
         self.stats.bytes_received += data.nbytes
         return data
@@ -108,12 +225,27 @@ class VirtualCluster:
 
     ``run`` returns the per-rank return values; ``stats`` afterwards holds
     the per-rank :class:`CommStats`.
+
+    ``recv_timeout_s`` sets the per-receive deadline for every rank's
+    blocking/non-blocking receives; when left ``None`` it follows the
+    program timeout passed to :meth:`run`, so a lost message can never
+    outlive the run it belongs to.
     """
 
-    def __init__(self, size: int):
+    #: Default program timeout of :meth:`run`, shared with the per-receive
+    #: deadline when neither is overridden.
+    DEFAULT_TIMEOUT_S = 600.0
+
+    def __init__(self, size: int, recv_timeout_s: float | None = None):
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
+        if recv_timeout_s is not None and recv_timeout_s <= 0:
+            raise ValueError(
+                f"recv_timeout_s must be positive, got {recv_timeout_s}"
+            )
         self.size = size
+        self._recv_timeout_s = recv_timeout_s
+        self._run_timeout_s = self.DEFAULT_TIMEOUT_S
         self._mailboxes = [queue.Queue() for _ in range(size)]
         self._unmatched: list[list[tuple[int, int, np.ndarray]]] = [
             [] for _ in range(size)
@@ -128,6 +260,14 @@ class VirtualCluster:
         self._read_barrier = threading.Barrier(size)
         self._gather_buffer: dict[int, list] = {}
         self.stats: list[CommStats] = [CommStats() for _ in range(size)]
+
+    @property
+    def recv_timeout_s(self) -> float:
+        """Effective per-receive deadline: the configured value, else the
+        program timeout of the current/most recent :meth:`run`."""
+        if self._recv_timeout_s is not None:
+            return self._recv_timeout_s
+        return self._run_timeout_s
 
     # -- internals ---------------------------------------------------------------
 
@@ -202,12 +342,17 @@ class VirtualCluster:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self, program, timeout: float = 600.0) -> list:
+    def run(self, program, timeout: float | None = None) -> list:
         """Run ``program(comm)`` on every rank; returns per-rank results.
 
         Any rank raising propagates the first exception after all threads
-        finish or the timeout expires.
+        finish or the timeout expires.  ``timeout`` (default
+        :data:`DEFAULT_TIMEOUT_S`) also becomes the per-receive deadline
+        unless the cluster was built with an explicit ``recv_timeout_s``.
         """
+        if timeout is None:
+            timeout = self.DEFAULT_TIMEOUT_S
+        self._run_timeout_s = timeout
         results: list = [None] * self.size
         errors: list = [None] * self.size
 

@@ -1,0 +1,38 @@
+"""Typed failure classes of the virtual-MPI layer.
+
+These live in their own module (rather than in :mod:`.launcher`) so the
+communicator itself can raise them without a circular import: a receive
+that never completes raises :class:`RankTimeoutError` from inside
+:meth:`~repro.parallel.comm.VirtualComm.recv`, and the campaign retry
+policy (:mod:`repro.campaign.queue`) treats both classes as transient.
+They remain re-exported from :mod:`repro.parallel.launcher` for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RankFailedError", "RankTimeoutError"]
+
+
+class RankFailedError(RuntimeError):
+    """One (virtual) MPI rank died during a distributed run.
+
+    Typed so a campaign retry policy can treat a rank failure as
+    transient and re-submit the job; ``rank`` is the failing rank (-1 if
+    unknown) and ``cause`` the original exception.
+    """
+
+    def __init__(self, rank: int, cause: BaseException):
+        super().__init__(f"rank {rank} failed: {cause}")
+        self.rank = rank
+        self.cause = cause
+
+
+class RankTimeoutError(RankFailedError, TimeoutError):
+    """A rank exceeded a wall limit (a hung or lost peer).
+
+    Raised both for a whole-program timeout in
+    :meth:`~repro.parallel.comm.VirtualCluster.run` and for a single
+    receive that outlives the cluster's per-receive deadline.  Also a
+    :class:`TimeoutError` so callers matching on the builtin still work.
+    """

@@ -6,6 +6,12 @@ on a global time step (min-allreduce), marches the same time loop, and
 exchanges halo contributions after every force evaluation.  Seismograms
 are gathered at rank 0.
 
+With ``overlap=True`` (or ``params.overlap_comm``) each rank classifies
+its elements into halo-touching and interior sets up front and the solver
+switches to the overlapped schedule: boundary forces first, non-blocking
+halo post, interior forces while the messages are in flight, then wait —
+bit-identical to the blocking reference path.
+
 The per-rank communication statistics collected by the virtual
 communicators are returned alongside the results — they are the raw
 measurements behind the Figure 6/7 benchmarks.
@@ -20,12 +26,14 @@ import numpy as np
 from ..config.parameters import SimulationParameters
 from ..cubed_sphere.topology import SliceGrid
 from ..mesh.mesher import build_slice_mesh
+from ..mesh.partition import split_slice_elements
 from ..model.perturbations import SyntheticTomography
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..solver.receivers import Station
 from ..solver.solver import GlobalSolver
 from .comm import CommStats, VirtualCluster, VirtualComm
+from .errors import RankFailedError, RankTimeoutError
 from .halo import HaloExchanger, build_halos
 
 __all__ = [
@@ -34,24 +42,6 @@ __all__ = [
     "RankTimeoutError",
     "run_distributed_simulation",
 ]
-
-
-class RankFailedError(RuntimeError):
-    """One (virtual) MPI rank died during a distributed run.
-
-    Typed so a campaign retry policy can treat a rank failure as
-    transient and re-submit the job; ``rank`` is the failing rank (-1 if
-    unknown) and ``cause`` the original exception.
-    """
-
-    def __init__(self, rank: int, cause: BaseException):
-        super().__init__(f"rank {rank} failed: {cause}")
-        self.rank = rank
-        self.cause = cause
-
-
-class RankTimeoutError(RankFailedError):
-    """A distributed run exceeded its wall limit (a hung or lost rank)."""
 
 
 @dataclass
@@ -120,6 +110,8 @@ def run_distributed_simulation(
     timeout_s: float = 600.0,
     combine_solid_messages: bool = True,
     trace: bool = False,
+    overlap: bool | None = None,
+    n_segments: int = 1,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
@@ -128,8 +120,21 @@ def run_distributed_simulation(
     compute accounting.  With ``trace=True`` every rank records mesher/
     solver/halo spans into its own tracer (``result.tracers``), merged
     into one report by :mod:`repro.obs.report`.
+
+    ``overlap`` selects the non-blocking overlapped halo schedule
+    (default: ``params.overlap_comm``); ``timeout_s`` bounds both the
+    whole run and every individual blocking receive (a hung peer raises
+    :class:`RankTimeoutError` rather than deadlocking).  ``n_segments``
+    splits the marching into that many back-to-back ``solver.run``
+    segments over one shared time grid (the campaign restart pattern),
+    exercising state carry-over without changing the results.
     """
     import time as _time
+
+    if n_segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    if overlap is None:
+        overlap = params.overlap_comm
 
     grid = SliceGrid(params.nproc_xi)
     tomography = (
@@ -163,6 +168,13 @@ def run_distributed_simulation(
         for rank in range(grid.nproc_total)
     ]
     halos = build_halos(slices)
+    # Interior/boundary element classification for the overlapped schedule,
+    # precomputed per rank from the same halos the exchanger will use.
+    splits = (
+        [split_slice_elements(slices[r], halos[r]) for r in range(grid.nproc_total)]
+        if overlap
+        else None
+    )
     station_assignment = _assign_stations(stations or [], slices)
     # Sources must be injected by exactly one rank (the halo assembly then
     # propagates shared-point contributions); assign like stations.
@@ -208,13 +220,25 @@ def run_distributed_simulation(
             dt_override=dt_global,
             tracer=rank_tracer,
             metrics=rank_metrics,
+            overlap_exchanger=exchanger if overlap else None,
+            element_splits=splits[rank] if overlap else None,
         )
         # The allreduce a real run would perform (a no-op on equal values,
         # but it exercises and accounts the collective).
         solver.dt = comm.allreduce(solver.dt, op="min")
         steps = n_steps if n_steps is not None else solver.n_steps
         steps = int(comm.allreduce(steps, op="min"))
-        result = solver.run(n_steps=steps)
+        if n_segments <= 1:
+            result = solver.run(n_steps=steps)
+        else:
+            # Lazy import: campaign sits above parallel in the layering and
+            # imports this module, so a top-level import would be circular.
+            from ..campaign.segments import segment_boundaries
+
+            for seg_start, seg_stop in segment_boundaries(steps, n_segments):
+                result = solver.run(
+                    n_steps=steps, start_step=seg_start, stop_step=seg_stop
+                )
         if rank_metrics is not None:
             s = comm.stats
             rank_metrics.counter("comm.messages").add(
@@ -240,10 +264,13 @@ def run_distributed_simulation(
     cluster = VirtualCluster(grid.nproc_total)
     try:
         results = cluster.run(program, timeout=timeout_s)
-    except TimeoutError as exc:
-        raise RankTimeoutError(getattr(exc, "failed_rank", -1), exc) from exc
+    # Order matters: RankTimeoutError is both a RankFailedError and a
+    # TimeoutError, and an in-program one already names the failing rank —
+    # re-raise it untouched instead of re-wrapping it rank-less.
     except RankFailedError:
         raise
+    except TimeoutError as exc:
+        raise RankTimeoutError(getattr(exc, "failed_rank", -1), exc) from exc
     except Exception as exc:
         raise RankFailedError(getattr(exc, "failed_rank", -1), exc) from exc
     gathered = results[0]

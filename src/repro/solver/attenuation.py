@@ -73,6 +73,33 @@ class AttenuationState:
         """Anelastic stress to subtract: 2 mu sum_j zeta_j."""
         return 2.0 * mu[..., None, None] * self.zeta.sum(axis=0)
 
+    def update_subset(self, strain: np.ndarray, elements: np.ndarray) -> None:
+        """:meth:`update` restricted to an element subset.
+
+        The overlapped time loop advances boundary and interior elements
+        in two passes; the relaxation is elementwise, so updating the two
+        subsets separately is bit-identical to one full update — provided
+        each element appears in exactly one subset per step.
+        """
+        dev = strain.copy()
+        trace_third = np.trace(strain, axis1=-2, axis2=-1) / 3.0
+        idx = np.arange(3)
+        dev[..., idx, idx] -= trace_third[..., None]
+        zeta = self.zeta[:, elements]
+        zeta *= self.alpha[:, elements][..., None, None]
+        zeta += (
+            (self.weight[:, elements] * self.y[:, elements])[..., None, None]
+            * dev[None, ...]
+        )
+        self.zeta[:, elements] = zeta
+
+    def stress_correction_subset(
+        self, mu: np.ndarray, elements: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`stress_correction` for an element subset (``mu`` already
+        sliced to the subset)."""
+        return 2.0 * mu[..., None, None] * self.zeta[:, elements].sum(axis=0)
+
 
 def build_attenuation(
     q_mu: np.ndarray,

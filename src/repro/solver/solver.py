@@ -12,7 +12,16 @@ virtual-MPI launcher provides):
 * optional attenuation (memory variables), rotation (Coriolis),
   self-gravitation (Cowling), and ocean load;
 * moment-tensor sources and interpolated/closest-point receivers
-  (Section 4.4).
+  (Section 4.4);
+* optional comm/compute overlap: with an ``overlap_exchanger`` and
+  per-region ``element_splits`` injected, each step computes
+  *boundary* elements first, posts the non-blocking halo exchange
+  (their scatter already carries the complete local contribution at
+  every slice-shared point — interior elements touch none), computes
+  the *interior* elements while the messages are in flight, and only
+  then waits.  The final assembly reproduces the blocking force sum in
+  the original element order, so the two paths are bit-identical; only
+  the time blocked in ``halo.wait`` changes.
 """
 
 from __future__ import annotations
@@ -118,6 +127,57 @@ def _radial_frames_cached(xyz_m: np.ndarray) -> np.ndarray:
     return radial_frames(xyz_m)
 
 
+class _RegionSubset:
+    """A boundary or interior element subset of one region's state.
+
+    Holds element-sliced views of everything the force kernels consume
+    (geometry, materials, numbering, physics extras), precomputed once at
+    solver build so the overlapped time loop pays no per-step slicing of
+    static data.  ``idx`` is an ascending element-index array into the
+    region's original element order; kernels applied per subset produce
+    exactly the rows the full-region kernel would, because every kernel
+    is elementwise over the leading (element) axis.
+    """
+
+    def __init__(self, solver: "GlobalSolver", code: int, idx: np.ndarray):
+        st = solver.regions[code]
+        n3 = constants.NGLLX**3
+        self.idx = idx
+        self.ibool = st.ibool[idx]
+        geom = st.geom
+        self.geom = type(geom)(
+            inv_jacobian=geom.inv_jacobian[idx],
+            jacobian=geom.jacobian[idx],
+            jweight=geom.jweight[idx],
+        )
+        self.rho = st.rho[idx]
+        self.mu = None if st.mu is None else st.mu[idx]
+        self.lam = None if st.lam is None else st.lam[idx]
+        self.xyz_m = st.xyz_m[idx]
+        if st.ti_moduli is None:
+            self.ti_moduli = None
+            self.ti_frames = None
+        else:
+            m = st.ti_moduli
+            self.ti_moduli = type(m)(
+                A=m.A[idx], C=m.C[idx], L=m.L[idx], N=m.N[idx], F=m.F[idx]
+            )
+            self.ti_frames = st.ti_frames[idx]
+        g = solver.gravity_g.get(code)
+        self.gravity_g = None if g is None else g[idx]
+        #: Attenuation memory variables are updated per subset (the two
+        #: subsets partition the region's elements, so the elementwise
+        #: relaxation is unchanged).
+        self.atten_elements = idx
+        self.gll_points_count = float(idx.size * n3)
+        if code == solver.fluid_code:
+            self.rho_inv = 1.0 / self.rho
+            self.acoustic_flops = float(acoustic_kernel_flops(idx.size))
+        else:
+            self.elastic_flops = float(elastic_kernel_flops(idx.size))
+            self.atten_flops = float(attenuation_update_flops(idx.size))
+
+
 class GlobalSolver:
     """Set up and run one coupled global simulation.
 
@@ -130,6 +190,15 @@ class GlobalSolver:
     assembler : optional hook ``(region, global_array) -> global_array``
         performing cross-rank assembly; identity for serial runs.
     mass_assembler : same, applied once to the mass matrices at setup.
+    overlap_exchanger : optional non-blocking halo exchanger (duck-typed
+        :class:`repro.parallel.halo.HaloExchanger`: ``post``/``wait`` and
+        ``post_many``/``wait_many``).  Together with ``element_splits``
+        it switches the time loop to the overlapped schedule — boundary
+        elements, post, interior elements, wait.
+    element_splits : dict ``region -> ElementSplit`` (from
+        :func:`repro.mesh.partition.split_slice_elements`) classifying
+        each region's elements as halo-touching or interior.  Regions
+        missing from the dict are treated as all-interior.
     """
 
     def __init__(
@@ -144,6 +213,8 @@ class GlobalSolver:
         dt_override: float | None = None,
         tracer=None,
         metrics=None,
+        overlap_exchanger=None,
+        element_splits: dict | None = None,
     ):
         self.params = params
         #: Observability hooks: a no-op tracer unless one is injected, and
@@ -302,6 +373,33 @@ class GlobalSolver:
             else None
         )
         self.timings = SolverTimings()
+
+        # -- Comm/compute overlap ----------------------------------------------
+        # Attach the per-view metadata the shared force helper reads, so the
+        # blocking path and the overlapped subsets go through identical code.
+        for code in self.solid_codes:
+            st = self.regions[code]
+            st.atten_elements = None  # full-region attenuation update
+            st.gravity_g = self.gravity_g.get(code)
+            st.elastic_flops = self._elastic_flops[code]
+            st.atten_flops = self._atten_flops[code]
+            st.gll_points_count = self._gll_points[code]
+        self.overlap_exchanger = overlap_exchanger
+        self._overlap = overlap_exchanger is not None and element_splits is not None
+        self._subsets: dict[int, dict[str, _RegionSubset]] = {}
+        if self._overlap:
+            for code, st in self.regions.items():
+                split = element_splits.get(code)
+                if split is None:
+                    boundary = np.empty(0, dtype=np.intp)
+                    interior = np.arange(st.ibool.shape[0], dtype=np.intp)
+                else:
+                    boundary = np.asarray(split.boundary, dtype=np.intp)
+                    interior = np.asarray(split.interior, dtype=np.intp)
+                self._subsets[code] = {
+                    "boundary": _RegionSubset(self, code, boundary),
+                    "interior": _RegionSubset(self, code, interior),
+                }
 
     # ------------------------------------------------------------------ setup
 
@@ -537,6 +635,226 @@ class GlobalSolver:
             else "coupling.icb"
         )
 
+    def _apply_fluid_coupling(self, force: np.ndarray) -> None:
+        """Add the solid-displacement traction onto a fluid force array."""
+        tr = self.tracer
+        for solid_code, op in self.couplings:
+            with tr.span(self._coupling_span_name(solid_code)):
+                op.add_fluid_coupling(force, self.solid[solid_code].displ)
+
+    def _apply_solid_coupling(self, code: int, force: np.ndarray) -> None:
+        """Add the fluid-pressure traction onto one solid force array."""
+        tr = self.tracer
+        for solid_code, op in self.couplings:
+            if solid_code == code and self.fluid is not None:
+                with tr.span(self._coupling_span_name(solid_code)):
+                    op.add_solid_coupling(force, self.fluid.chi_ddot)
+
+    def _apply_sources(self, code: int, force: np.ndarray, t: float) -> None:
+        """Inject the source terms of one region onto a global force array."""
+        st = self.regions[code]
+        for region, element, arr, source in self.source_terms:
+            if region == code:
+                amp = source.amplitude(t)
+                np_ids = st.ibool[element]
+                np.add.at(
+                    force, np_ids.ravel(),
+                    (amp * arr).reshape(-1, 3),
+                )
+
+    def _solid_local_force(self, code: int, view) -> np.ndarray:
+        """Local (unassembled) force of one solid region or element subset.
+
+        ``view`` is a :class:`_RegionState` (full region, blocking path) or
+        a :class:`_RegionSubset` (overlap path); both expose the same
+        sliced attributes, so the two paths run identical elementwise math.
+        """
+        tr = self.tracer
+        f = self.solid[code]
+        u_local = gather(f.displ, view.ibool)
+        correction = None
+        if code in self.attenuation:
+            with tr.span("kernel.attenuation", flops=view.atten_flops):
+                strain = compute_strain(u_local, view.geom, self.basis)
+                atten = self.attenuation[code]
+                if view.atten_elements is None:
+                    atten.update(strain)
+                    correction = atten.stress_correction(view.mu)
+                else:
+                    atten.update_subset(strain, view.atten_elements)
+                    correction = atten.stress_correction_subset(
+                        view.mu, view.atten_elements
+                    )
+        with tr.span(
+            "kernel.elastic",
+            flops=view.elastic_flops,
+            gll_points=view.gll_points_count,
+        ):
+            if view.ti_moduli is not None:
+                from ..kernels.anisotropic import compute_forces_elastic_ti
+
+                force_local = compute_forces_elastic_ti(
+                    u_local,
+                    view.geom,
+                    view.ti_moduli,
+                    view.ti_frames,
+                    self.basis,
+                    stress_correction=correction,
+                )
+            else:
+                force_local = compute_forces_elastic(
+                    u_local,
+                    view.geom,
+                    view.lam,
+                    view.mu,
+                    self.basis,
+                    variant=self.params.kernel_variant,
+                    stress_correction=correction,
+                )
+        if self.omega_vector is not None:
+            v_local = gather(f.veloc, view.ibool)
+            force_local += coriolis_local_force(
+                v_local, view.rho, view.geom, self.omega_vector
+            )
+        if view.gravity_g is not None:
+            force_local += gravity_local_force(
+                u_local,
+                view.xyz_m,
+                view.rho,
+                view.gravity_g,
+                view.geom,
+                self.basis,
+            )
+        return force_local
+
+    def _forces_blocking(self, t: float) -> dict[int, np.ndarray]:
+        """Reference schedule: compute everything, then exchange (blocking)."""
+        dt = self.dt
+        tr = self.tracer
+        # ---- Fluid update first (needs only solid displacement). ----
+        if self.fluid is not None:
+            fl = self.regions[self.fluid_code]
+            with tr.span(
+                "kernel.acoustic",
+                flops=self._acoustic_flops,
+                gll_points=self._gll_points[self.fluid_code],
+            ):
+                chi_local = gather(self.fluid.chi, fl.ibool)
+                force_local = compute_forces_acoustic(
+                    chi_local, fl.geom, 1.0 / fl.rho, self.basis
+                )
+                force = scatter_add(force_local, fl.ibool, fl.nglob)
+            self._apply_fluid_coupling(force)
+            force = self.assembler(self.fluid_code, force)
+            self.fluid.chi_ddot[:] = force / self.mass[self.fluid_code]
+            newmark.corrector_scalar(self.fluid.chi_dot, self.fluid.chi_ddot, dt)
+
+        # ---- Solid updates (can use the fresh fluid chi_ddot). ----
+        # Phase 1: local force vectors of every solid region.
+        solid_forces: dict[int, np.ndarray] = {}
+        for code in self.solid_codes:
+            st = self.regions[code]
+            force_local = self._solid_local_force(code, st)
+            force = scatter_add(force_local, st.ibool, st.nglob)
+            self._apply_solid_coupling(code, force)
+            self._apply_sources(code, force, t)
+            solid_forces[code] = force
+        # Phase 2: cross-rank assembly — one combined message per neighbour
+        # when a multi-region assembler is available (the paper's 33%
+        # message-count reduction), else per-region.
+        if self.multi_assembler is not None and len(solid_forces) > 1:
+            solid_forces = self.multi_assembler(solid_forces)
+        else:
+            for code in solid_forces:
+                solid_forces[code] = self.assembler(code, solid_forces[code])
+        return solid_forces
+
+    def _forces_overlap(self, t: float) -> dict[int, np.ndarray]:
+        """Overlapped schedule: boundary elements, post, interior, wait.
+
+        Bit-identity with :meth:`_forces_blocking` rests on two facts:
+
+        * interior elements touch no halo point, so the scatter of the
+          boundary subset alone already carries the *complete* local
+          contribution at every slice-shared point — that partial array is
+          what gets sent while interior elements compute;
+        * the final local force is re-scattered from the per-element
+          contributions in the *original* element order (one ``bincount``
+          over the full ``ibool``), so floating-point summation order
+          matches the blocking path exactly, and the received neighbour
+          contributions are added in the same sorted-rank order the
+          blocking exchange uses.
+        """
+        dt = self.dt
+        tr = self.tracer
+        ex = self.overlap_exchanger
+        # ---- Fluid: boundary pass, post, interior pass, wait. ----
+        if self.fluid is not None:
+            code = self.fluid_code
+            fl = self.regions[code]
+            bnd = self._subsets[code]["boundary"]
+            inner = self._subsets[code]["interior"]
+            with tr.span(
+                "kernel.acoustic",
+                flops=bnd.acoustic_flops,
+                gll_points=bnd.gll_points_count,
+            ):
+                chi_b = gather(self.fluid.chi, bnd.ibool)
+                force_b_local = compute_forces_acoustic(
+                    chi_b, bnd.geom, bnd.rho_inv, self.basis
+                )
+                halo_contrib = scatter_add(force_b_local, bnd.ibool, fl.nglob)
+            self._apply_fluid_coupling(halo_contrib)
+            pending = ex.post(code, halo_contrib)
+            with tr.span(
+                "kernel.acoustic",
+                flops=inner.acoustic_flops,
+                gll_points=inner.gll_points_count,
+            ):
+                chi_i = gather(self.fluid.chi, inner.ibool)
+                force_i_local = compute_forces_acoustic(
+                    chi_i, inner.geom, inner.rho_inv, self.basis
+                )
+                # Full-order re-scatter: one bincount over the original
+                # ibool keeps the summation order of the blocking path.
+                force_local = np.empty(fl.ibool.shape)
+                force_local[bnd.idx] = force_b_local
+                force_local[inner.idx] = force_i_local
+                force = scatter_add(force_local, fl.ibool, fl.nglob)
+            self._apply_fluid_coupling(force)
+            ex.wait(pending, force)
+            self.fluid.chi_ddot[:] = force / self.mass[code]
+            newmark.corrector_scalar(self.fluid.chi_dot, self.fluid.chi_ddot, dt)
+
+        # ---- Solids: all boundary passes, one merged post, interiors, wait.
+        boundary_locals: dict[int, np.ndarray] = {}
+        halo_values: dict[int, np.ndarray] = {}
+        for code in self.solid_codes:
+            st = self.regions[code]
+            bnd = self._subsets[code]["boundary"]
+            force_b_local = self._solid_local_force(code, bnd)
+            boundary_locals[code] = force_b_local
+            contrib = scatter_add(force_b_local, bnd.ibool, st.nglob)
+            self._apply_solid_coupling(code, contrib)
+            self._apply_sources(code, contrib, t)
+            halo_values[code] = contrib
+        pending_solid = ex.post_many(halo_values)
+        solid_forces: dict[int, np.ndarray] = {}
+        for code in self.solid_codes:
+            st = self.regions[code]
+            bnd = self._subsets[code]["boundary"]
+            inner = self._subsets[code]["interior"]
+            force_i_local = self._solid_local_force(code, inner)
+            force_local = np.empty(st.ibool.shape + (3,))
+            force_local[bnd.idx] = boundary_locals[code]
+            force_local[inner.idx] = force_i_local
+            force = scatter_add(force_local, st.ibool, st.nglob)
+            self._apply_solid_coupling(code, force)
+            self._apply_sources(code, force, t)
+            solid_forces[code] = force
+        ex.wait_many(pending_solid, solid_forces)
+        return solid_forces
+
     def _one_step(self, t: float) -> None:
         dt = self.dt
         tr = self.tracer
@@ -552,105 +870,11 @@ class GlobalSolver:
 
         t0 = time.perf_counter()
         cpu0 = time.thread_time()
-        # ---- Fluid update first (needs only solid displacement). ----
-        if self.fluid is not None:
-            fl = self.regions[self.fluid_code]
-            with tr.span(
-                "kernel.acoustic",
-                flops=self._acoustic_flops,
-                gll_points=self._gll_points[self.fluid_code],
-            ):
-                chi_local = gather(self.fluid.chi, fl.ibool)
-                force_local = compute_forces_acoustic(
-                    chi_local, fl.geom, 1.0 / fl.rho, self.basis
-                )
-                force = scatter_add(force_local, fl.ibool, fl.nglob)
-            for solid_code, op in self.couplings:
-                with tr.span(self._coupling_span_name(solid_code)):
-                    op.add_fluid_coupling(force, self.solid[solid_code].displ)
-            force = self.assembler(self.fluid_code, force)
-            self.fluid.chi_ddot[:] = force / self.mass[self.fluid_code]
-            newmark.corrector_scalar(self.fluid.chi_dot, self.fluid.chi_ddot, dt)
-
-        # ---- Solid updates (can use the fresh fluid chi_ddot). ----
-        # Phase 1: local force vectors of every solid region.
-        solid_forces: dict[int, np.ndarray] = {}
-        for code in self.solid_codes:
-            st = self.regions[code]
-            f = self.solid[code]
-            u_local = gather(f.displ, st.ibool)
-            correction = None
-            if code in self.attenuation:
-                with tr.span(
-                    "kernel.attenuation", flops=self._atten_flops[code]
-                ):
-                    strain = compute_strain(u_local, st.geom, self.basis)
-                    atten = self.attenuation[code]
-                    atten.update(strain)
-                    correction = atten.stress_correction(st.mu)
-            with tr.span(
-                "kernel.elastic",
-                flops=self._elastic_flops[code],
-                gll_points=self._gll_points[code],
-            ):
-                if st.ti_moduli is not None:
-                    from ..kernels.anisotropic import compute_forces_elastic_ti
-
-                    force_local = compute_forces_elastic_ti(
-                        u_local,
-                        st.geom,
-                        st.ti_moduli,
-                        st.ti_frames,
-                        self.basis,
-                        stress_correction=correction,
-                    )
-                else:
-                    force_local = compute_forces_elastic(
-                        u_local,
-                        st.geom,
-                        st.lam,
-                        st.mu,
-                        self.basis,
-                        variant=self.params.kernel_variant,
-                        stress_correction=correction,
-                    )
-            if self.omega_vector is not None:
-                v_local = gather(f.veloc, st.ibool)
-                force_local += coriolis_local_force(
-                    v_local, st.rho, st.geom, self.omega_vector
-                )
-            if code in self.gravity_g:
-                force_local += gravity_local_force(
-                    u_local,
-                    st.xyz_m,
-                    st.rho,
-                    self.gravity_g[code],
-                    st.geom,
-                    self.basis,
-                )
-            force = scatter_add(force_local, st.ibool, st.nglob)
-            for solid_code, op in self.couplings:
-                if solid_code == code and self.fluid is not None:
-                    with tr.span(self._coupling_span_name(solid_code)):
-                        op.add_solid_coupling(force, self.fluid.chi_ddot)
-            for region, element, arr, source in self.source_terms:
-                if region == code:
-                    amp = source.amplitude(t)
-                    np_ids = st.ibool[element]
-                    np.add.at(
-                        force, np_ids.ravel(),
-                        (amp * arr).reshape(-1, 3),
-                    )
-            solid_forces[code] = force
-        # Phase 2: cross-rank assembly — one combined message per neighbour
-        # when a multi-region assembler is available (the paper's 33%
-        # message-count reduction), else per-region.
-        if self.multi_assembler is not None and len(solid_forces) > 1:
-            solid_forces = self.multi_assembler(solid_forces)
+        if self._overlap:
+            solid_forces = self._forces_overlap(t)
         else:
-            for code in solid_forces:
-                solid_forces[code] = self.assembler(code, solid_forces[code])
-        # Phase 3: finish the update.
+            solid_forces = self._forces_blocking(t)
+        # Finish the update.
         with tr.span("solver.newmark_corrector", flops=self._newmark_flops):
             for code in self.solid_codes:
                 f = self.solid[code]
