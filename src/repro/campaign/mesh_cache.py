@@ -30,6 +30,14 @@ from pathlib import Path
 
 import numpy as np
 
+from ..chaos.integrity import (
+    INTEGRITY_KEY,
+    CacheCorruptionError,
+    IntegrityError,
+    checksum_payload,
+    parse_checksum_payload,
+    verify_checksums,
+)
 from ..config.parameters import SimulationParameters
 from ..mesh.element import RegionMesh
 from ..mesh.mesher import GlobalMesh, build_global_mesh
@@ -107,6 +115,9 @@ def save_mesh_npz(mesh: GlobalMesh, path: str | Path) -> Path:
             for love in ("A", "C", "L", "N", "F"):
                 arrays[f"{code}_ti_{love}"] = getattr(rmesh.ti_moduli, love)
         arrays[f"{code}_owner"] = mesh.slice_of_element[code]
+    # CRC32 of every array, re-verified by load_mesh_npz: a corrupted
+    # spill must surface as CacheCorruptionError, never as a bad mesh.
+    arrays[INTEGRITY_KEY] = checksum_payload(arrays)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
@@ -124,35 +135,60 @@ def save_mesh_npz(mesh: GlobalMesh, path: str | Path) -> Path:
 
 
 def load_mesh_npz(path: str | Path) -> GlobalMesh:
-    """Rebuild a :class:`GlobalMesh` from :func:`save_mesh_npz` output."""
-    path = Path(path)
-    with np.load(path, allow_pickle=False) as f:
-        params = SimulationParameters.from_dict(
-            json.loads(str(f["params_json"]))
-        )
-        regions: dict[int, RegionMesh] = {}
-        owners: dict[int, np.ndarray] = {}
-        for code in (int(c) for c in f["region_codes"]):
-            ti = None
-            if f"{code}_ti_A" in f:
-                from ..kernels.anisotropic import TIModuli
+    """Rebuild a :class:`GlobalMesh` from :func:`save_mesh_npz` output.
 
-                ti = TIModuli(
-                    **{love: f[f"{code}_ti_{love}"] for love in "ACLNF"}
-                )
-            regions[code] = RegionMesh(
-                region=code,
-                xyz=f[f"{code}_xyz"],
-                ibool=f[f"{code}_ibool"],
-                nglob=int(f[f"{code}_nglob"]),
-                rho=f[f"{code}_rho"],
-                kappa=f[f"{code}_kappa"],
-                mu=f[f"{code}_mu"],
-                q_mu=f[f"{code}_q_mu"],
-                ti_moduli=ti,
+    Every array is re-verified against the embedded CRC32 map; a file
+    the zip layer rejects or whose checksums mismatch raises
+    :class:`~repro.chaos.integrity.CacheCorruptionError` (which
+    :class:`MeshCache` quarantines and treats as a miss).  Spills
+    written before checksums existed load without verification.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as raw:
+            loaded = {name: np.array(raw[name]) for name in raw.files}
+    except Exception as exc:
+        raise CacheCorruptionError(
+            f"mesh spill {path} is corrupt or truncated: {exc}"
+        ) from exc
+    if INTEGRITY_KEY in loaded:
+        try:
+            verify_checksums(
+                {k: v for k, v in loaded.items() if k != INTEGRITY_KEY},
+                parse_checksum_payload(loaded[INTEGRITY_KEY]),
             )
-            owners[code] = f[f"{code}_owner"]
-        cube = int(f["cube_elements"])
+        except IntegrityError as exc:
+            raise CacheCorruptionError(
+                f"mesh spill {path} failed integrity verification: {exc}"
+            ) from exc
+
+    f = loaded
+    params = SimulationParameters.from_dict(
+        json.loads(str(f["params_json"]))
+    )
+    regions: dict[int, RegionMesh] = {}
+    owners: dict[int, np.ndarray] = {}
+    for code in (int(c) for c in f["region_codes"]):
+        ti = None
+        if f"{code}_ti_A" in f:
+            from ..kernels.anisotropic import TIModuli
+
+            ti = TIModuli(
+                **{love: f[f"{code}_ti_{love}"] for love in "ACLNF"}
+            )
+        regions[code] = RegionMesh(
+            region=code,
+            xyz=f[f"{code}_xyz"],
+            ibool=f[f"{code}_ibool"],
+            nglob=int(f[f"{code}_nglob"]),
+            rho=f[f"{code}_rho"],
+            kappa=f[f"{code}_kappa"],
+            mu=f[f"{code}_mu"],
+            q_mu=f[f"{code}_q_mu"],
+            ti_moduli=ti,
+        )
+        owners[code] = f[f"{code}_owner"]
+    cube = int(f["cube_elements"])
     return GlobalMesh(
         params=params, regions=regions, slice_of_element=owners,
         cube_elements=cube,
@@ -209,6 +245,7 @@ class MeshCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.corruptions = 0
 
     # -- internals ----------------------------------------------------------
 
@@ -272,10 +309,20 @@ class MeshCache:
         try:
             spill = self._spill_path(key)
             if spill is not None and spill.exists():
-                entry.mesh = load_mesh_npz(spill)
-                with self._lock:
-                    self.disk_hits += 1
-                    self._count("disk_hits")
+                try:
+                    entry.mesh = load_mesh_npz(spill)
+                    with self._lock:
+                        self.disk_hits += 1
+                        self._count("disk_hits")
+                except CacheCorruptionError:
+                    # Quarantine the corrupt spill (so it is never loaded
+                    # again) and rebuild: corruption is a miss, not an
+                    # error — the cache heals itself.
+                    self._quarantine(spill)
+                    with self._lock:
+                        self.corruptions += 1
+                        self._count("corruptions")
+                    entry.mesh = self.builder(params)
             else:
                 entry.mesh = self.builder(params)
         except BaseException as exc:
@@ -297,6 +344,19 @@ class MeshCache:
         with self._lock:
             return len(self._entries)
 
+    def _quarantine(self, spill: Path) -> None:
+        """Move a corrupt spill aside (fall back to deleting it)."""
+        import os
+
+        target = spill.with_suffix(spill.suffix + ".quarantined")
+        try:
+            os.replace(spill, target)
+        except OSError:
+            try:
+                spill.unlink()
+            except OSError:
+                pass
+
     def stats(self) -> dict:
         """Hit/miss accounting snapshot (what the CLI table prints)."""
         with self._lock:
@@ -306,4 +366,5 @@ class MeshCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "evictions": self.evictions,
+                "corruptions": self.corruptions,
             }

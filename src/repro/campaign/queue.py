@@ -17,8 +17,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..config.parameters import SimulationParameters
+from ..chaos.sentinel import NumericalHealthError
+from ..config.parameters import ConfigError, SimulationParameters
 from ..parallel.launcher import RankFailedError
+from ..solver.checkpoint import CheckpointCorruptionError
 from .errors import JobTimeoutError, TransientJobError
 
 __all__ = ["JobSpec", "JobStatus", "JobQueue", "RetryPolicy"]
@@ -71,6 +73,23 @@ class RetryPolicy:
 
     ``delay(attempt)`` is the sleep before re-running attempt number
     ``attempt`` (1-based; the first retry waits ``base_delay_s``).
+
+    :meth:`classify` sorts failures into three bins with distinct
+    handling:
+
+    * ``"transient"`` (``retry_on``) — lost ranks, timeouts, dropped
+      messages: re-running may succeed, so retry with backoff;
+    * ``"fatal"`` (``no_retry_on``) — deterministic failures such as a
+      diverged solution (:class:`~repro.chaos.sentinel
+      .NumericalHealthError`) or a corrupt checkpoint the segmented
+      executor could not route around: fail fast on the first attempt,
+      persisting the diagnostic snapshot, instead of burning the whole
+      retry budget re-deriving the same NaN;
+    * ``"permanent"`` — everything else (bad parameters, code bugs).
+
+    ``no_retry_on`` wins when an exception type matches both (e.g. a
+    subclass crafted to be both transient and fatal): fail-fast is the
+    conservative reading.
     """
 
     max_attempts: int = 3
@@ -81,6 +100,11 @@ class RetryPolicy:
         TransientJobError,
         JobTimeoutError,
         RankFailedError,
+    )
+    no_retry_on: tuple[type[BaseException], ...] = (
+        NumericalHealthError,
+        CheckpointCorruptionError,
+        ConfigError,
     )
 
     def __post_init__(self) -> None:
@@ -99,8 +123,16 @@ class RetryPolicy:
             self.base_delay_s * self.factor ** (attempt - 1), self.max_delay_s
         )
 
+    def classify(self, exc: BaseException) -> str:
+        """``"fatal"`` | ``"transient"`` | ``"permanent"`` (see class doc)."""
+        if isinstance(exc, self.no_retry_on):
+            return "fatal"
+        if isinstance(exc, self.retry_on):
+            return "transient"
+        return "permanent"
+
     def is_retryable(self, exc: BaseException) -> bool:
-        return isinstance(exc, self.retry_on)
+        return self.classify(exc) == "transient"
 
 
 class JobQueue:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import shutil
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -24,7 +25,11 @@ import numpy as np
 from ..config.parameters import SimulationParameters
 from ..mesh.mesher import GlobalMesh, build_global_mesh
 from ..obs.tracer import maybe_tracer
-from ..solver.checkpoint import load_checkpoint, save_checkpoint
+from ..solver.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..solver.solver import GlobalSolver, SolverResult
 
 __all__ = ["SegmentInfo", "SegmentedResult", "segment_boundaries",
@@ -91,6 +96,7 @@ def run_segmented_simulation(
     keep_checkpoints: bool = False,
     tracer=None,
     metrics=None,
+    on_checkpoint=None,
 ) -> SegmentedResult:
     """Run one simulation as ``n_segments`` checkpointed segments.
 
@@ -99,6 +105,19 @@ def run_segmented_simulation(
     and checkpoints — the same state flow as chained queue jobs.  The
     result's seismograms are bit-identical to an unsegmented run (the
     v2 checkpoint carries the partially-recorded buffers).
+
+    Restores fall back to the *last verified checkpoint*: when the
+    newest checkpoint fails to load (the v3 CRC32 map catches on-disk
+    corruption), it is dropped with a warning and the next-older one is
+    tried, down to a cold restart from step 0.  Because the marching is
+    deterministic, re-running the lost span reproduces the exact same
+    state, so the final seismograms stay bit-identical — corruption
+    costs wall time, not correctness.  Each fallback increments the
+    ``campaign.checkpoint_corruptions`` metrics counter.
+
+    ``on_checkpoint(index, path)`` is called after each segment's
+    checkpoint is written — the chaos drills use it to corrupt a
+    checkpoint mid-run and prove the fallback path end-to-end.
 
     ``checkpoint_dir`` defaults to a temp directory removed afterwards
     unless ``keep_checkpoints`` is set.
@@ -121,22 +140,54 @@ def run_segmented_simulation(
         total = int(n_steps) if n_steps is not None else solver.n_steps
         bounds = segment_boundaries(total, n_segments)
         result: SolverResult | None = None
-        previous_ckpt: Path | None = None
+        # Checkpoints that were written, newest last; restores walk this
+        # list backwards past any entry that fails verification.
+        checkpoints: list[tuple[int, Path]] = []
         for index, (start, stop) in enumerate(bounds):
             t0 = time.perf_counter()
             with tr.span("campaign.segment", index=index, steps=stop - start):
+                resume = start
                 if index > 0:
                     solver = _fresh_solver(
                         mesh, params, sources, stations, tr, metrics
                     )
-                    resumed = load_checkpoint(solver, previous_ckpt)
-                    if resumed != start:
-                        raise RuntimeError(
-                            f"checkpoint resumes at step {resumed}, segment "
-                            f"{index} expected {start}"
-                        )
+                    resume = 0
+                    while checkpoints:
+                        step_at, path = checkpoints[-1]
+                        try:
+                            resumed = load_checkpoint(solver, path)
+                        except CheckpointError as exc:
+                            # Corrupt/unreadable: quarantine it from the
+                            # chain and fall back to the next-older one
+                            # (or a cold restart).  Determinism makes the
+                            # re-run bit-identical, so only wall time is
+                            # lost.
+                            checkpoints.pop()
+                            warnings.warn(
+                                f"checkpoint {path} rejected ({exc}); "
+                                f"falling back to the last verified "
+                                f"checkpoint",
+                                stacklevel=2,
+                            )
+                            if metrics is not None:
+                                metrics.counter(
+                                    "campaign.checkpoint_corruptions"
+                                ).add(1)
+                            # A failed restore may have partially written
+                            # solver state; rebuild before the next try.
+                            solver = _fresh_solver(
+                                mesh, params, sources, stations, tr, metrics
+                            )
+                            continue
+                        if resumed != step_at:
+                            raise RuntimeError(
+                                f"checkpoint {path} resumes at step "
+                                f"{resumed}, expected {step_at}"
+                            )
+                        resume = resumed
+                        break
                 result = solver.run(
-                    n_steps=total, start_step=start, stop_step=stop
+                    n_steps=total, start_step=resume, stop_step=stop
                 )
                 ckpt: Path | None = None
                 if index < len(bounds) - 1:
@@ -144,7 +195,9 @@ def run_segmented_simulation(
                         solver, directory / f"segment_{index:03d}.npz",
                         step=stop,
                     )
-                    previous_ckpt = ckpt
+                    checkpoints.append((stop, ckpt))
+                    if on_checkpoint is not None:
+                        on_checkpoint(index, ckpt)
             segments.append(
                 SegmentInfo(
                     index=index, start_step=start, stop_step=stop,

@@ -37,6 +37,10 @@ class JobRecord:
     solver_wall_s: float = 0.0
     trace_path: str | None = None
     error: str | None = None
+    #: "transient" | "fatal" | "permanent" for failures, None otherwise.
+    failure_class: str | None = None
+    #: Health-sentinel diagnostics of a fatal numerical failure.
+    health_snapshot: dict[str, Any] | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:

@@ -47,6 +47,12 @@ class JobResult:
     mesher_wall_s: float = 0.0
     solver_wall_s: float = 0.0
     error: str | None = None
+    #: How the final failure was classified: "transient" | "fatal" |
+    #: "permanent" (None for successes).
+    failure_class: str | None = None
+    #: Diagnostic state of a failed health check (``HealthSnapshot
+    #: .to_dict()``), persisted into the manifest for post-mortems.
+    health_snapshot: dict[str, Any] | None = None
     payload: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -72,6 +78,8 @@ class JobResult:
             solver_wall_s=self.solver_wall_s,
             trace_path=self.payload.get("trace_path"),
             error=self.error,
+            failure_class=self.failure_class,
+            health_snapshot=self.health_snapshot,
             metadata=dict(self.job.metadata),
         )
 
@@ -237,8 +245,8 @@ class WorkerPool:
                 try:
                     payload = self._attempt(job, attempt, tracer)
                 except Exception as exc:  # noqa: BLE001 - classified below
-                    retryable = policy.is_retryable(exc)
-                    if retryable and attempt < max_attempts:
+                    kind = policy.classify(exc)
+                    if kind == "transient" and attempt < max_attempts:
                         delay = policy.delay(attempt)
                         self.backoffs.append(delay)
                         self._count("jobs.retries")
@@ -247,6 +255,16 @@ class WorkerPool:
                         queue.set_status(job.name, JobStatus.RUNNING)
                         continue
                     result.status = JobStatus.FAILED
+                    result.failure_class = kind
+                    if kind == "fatal":
+                        # Fail fast, with diagnostics: a deterministic
+                        # failure (diverged solution, corrupt artifact)
+                        # keeps its health snapshot in the provenance
+                        # record instead of burning the retry budget.
+                        self._count("jobs.failed_fast")
+                        snap = getattr(exc, "snapshot", None)
+                        if snap is not None:
+                            result.health_snapshot = snap.to_dict()
                     result.error = (
                         f"{type(exc).__name__}: {exc}"
                         if str(exc)

@@ -1,0 +1,227 @@
+"""End-to-end chaos drills: inject faults, recover, prove bit-identity.
+
+A *drill* is the full loop the chaos subsystem exists for: run a
+simulation undisturbed, run it again under a seeded
+:class:`~repro.chaos.faults.FaultPlan` (and/or deliberate checkpoint
+corruption), let the containment machinery recover — retries for
+transient comm faults, last-verified-checkpoint fallback for corrupt
+restarts — and assert the recovered seismograms are **bit-identical** to
+the undisturbed run.  Determinism is the property under test: recovery
+that changes the physics is not recovery.
+
+Two drills cover the two failure surfaces:
+
+* :func:`run_comm_drill` — message drops / rank crashes during a
+  distributed run, recovered by the retry loop (works in both the
+  blocking and the overlapped halo schedule);
+* :func:`run_checkpoint_drill` — a bit flipped in a mid-run checkpoint,
+  recovered by the segmented executor's fallback to the last verified
+  checkpoint.
+
+Both return a :class:`DrillReport` whose :meth:`~DrillReport.to_dict`
+is what the CI chaos step writes as its artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .faults import FaultPlan
+
+__all__ = ["DrillReport", "run_comm_drill", "run_checkpoint_drill"]
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one chaos drill (the CI artifact payload)."""
+
+    drill: str
+    passed: bool
+    bit_identical: bool
+    attempts: int
+    faults_fired: int
+    fault_events: list[dict] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    detail: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "drill": self.drill,
+            "passed": self.passed,
+            "bit_identical": self.bit_identical,
+            "attempts": self.attempts,
+            "faults_fired": self.faults_fired,
+            "fault_events": list(self.fault_events),
+            "errors": list(self.errors),
+            "detail": dict(self.detail),
+            "wall_s": self.wall_s,
+        }
+
+
+def _bit_identical(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return a.shape == b.shape and bool(np.array_equal(a, b))
+
+
+def run_comm_drill(
+    params,
+    plan: FaultPlan,
+    sources: list | None = None,
+    stations: list | None = None,
+    n_steps: int | None = None,
+    overlap: bool | None = None,
+    max_attempts: int = 3,
+    recv_timeout_s: float = 2.0,
+    timeout_s: float = 120.0,
+) -> DrillReport:
+    """Drop/crash faults during a distributed run, recovered by retry.
+
+    Runs the simulation once undisturbed (the reference), then under the
+    fault plan with up to ``max_attempts`` attempts: transient failures
+    (per the campaign :class:`~repro.campaign.queue.RetryPolicy`) are
+    retried against the *same* plan, whose exhausted ``max_fires``
+    budgets keep the faults from re-firing — the transient-recovery
+    model.  Passes when a retried attempt succeeds with seismograms
+    bit-identical to the reference.
+    """
+    from ..campaign.queue import RetryPolicy
+    from ..parallel.launcher import run_distributed_simulation
+
+    policy = RetryPolicy(max_attempts=max_attempts)
+    t0 = time.perf_counter()
+    reference = run_distributed_simulation(
+        params,
+        sources=sources,
+        stations=stations,
+        n_steps=n_steps,
+        overlap=overlap,
+        timeout_s=timeout_s,
+    )
+    report = DrillReport(
+        drill="comm",
+        passed=False,
+        bit_identical=False,
+        attempts=0,
+        faults_fired=0,
+        detail={"overlap": bool(overlap), "max_attempts": max_attempts},
+    )
+    disturbed = None
+    for attempt in range(1, max_attempts + 1):
+        report.attempts = attempt
+        try:
+            disturbed = run_distributed_simulation(
+                params,
+                sources=sources,
+                stations=stations,
+                n_steps=n_steps,
+                overlap=overlap,
+                timeout_s=timeout_s,
+                fault_plan=plan,
+                recv_timeout_s=recv_timeout_s,
+            )
+        except Exception as exc:  # noqa: BLE001 - classified below
+            report.errors.append(f"attempt {attempt}: {type(exc).__name__}: {exc}")
+            if policy.classify(exc) == "transient" and attempt < max_attempts:
+                continue
+            break
+        break
+    report.faults_fired = plan.total_fired
+    report.fault_events = list(plan.events)
+    if disturbed is not None:
+        report.bit_identical = _bit_identical(
+            reference.seismograms, disturbed.seismograms
+        )
+        report.passed = report.bit_identical and plan.total_fired > 0
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_checkpoint_drill(
+    params,
+    sources: list | None = None,
+    stations: list | None = None,
+    n_steps: int | None = None,
+    n_segments: int = 3,
+    corrupt_segment: int = 0,
+) -> DrillReport:
+    """Flip a bit in a mid-run checkpoint; recover via verified fallback.
+
+    Runs the segmented executor twice over one shared mesh: once clean,
+    once with the ``corrupt_segment``-th checkpoint corrupted right
+    after it is written (through the ``on_checkpoint`` hook).  The
+    corrupted restore must be rejected by the v3 CRC32 verification and
+    the run must fall back to the last verified checkpoint (or step 0),
+    re-march the lost span, and still produce bit-identical seismograms.
+    """
+    from ..campaign.segments import run_segmented_simulation
+    from ..mesh.mesher import build_global_mesh
+    from ..obs.metrics import MetricsRegistry
+    from .integrity import flip_bit
+
+    t0 = time.perf_counter()
+    mesh = build_global_mesh(params)
+    clean = run_segmented_simulation(
+        params,
+        sources=sources,
+        stations=stations,
+        n_steps=n_steps,
+        n_segments=n_segments,
+        mesh=mesh,
+    )
+    corrupted: list[str] = []
+
+    def corrupt(index: int, path) -> None:
+        if index == corrupt_segment:
+            # Flip a bit in the middle of the file: compressed array
+            # data, past the zip headers.
+            size = path.stat().st_size
+            flip_bit(path, bit=8 * (size // 2))
+            corrupted.append(str(path))
+
+    metrics = MetricsRegistry()
+    report = DrillReport(
+        drill="checkpoint",
+        passed=False,
+        bit_identical=False,
+        attempts=1,
+        faults_fired=0,
+        detail={"n_segments": n_segments, "corrupt_segment": corrupt_segment},
+    )
+    import warnings as _warnings
+
+    try:
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")  # the fallback warns by design
+            disturbed = run_segmented_simulation(
+                params,
+                sources=sources,
+                stations=stations,
+                n_steps=n_steps,
+                n_segments=n_segments,
+                mesh=mesh,
+                metrics=metrics,
+                on_checkpoint=corrupt,
+            )
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+        report.wall_s = time.perf_counter() - t0
+        return report
+    fallbacks = metrics.counter("campaign.checkpoint_corruptions").value
+    report.faults_fired = len(corrupted)
+    report.fault_events = [
+        {"kind": "checkpoint_corruption", "path": p} for p in corrupted
+    ]
+    report.bit_identical = _bit_identical(
+        clean.seismograms, disturbed.seismograms
+    )
+    report.detail["fallbacks"] = int(fallbacks)
+    report.passed = (
+        report.bit_identical and bool(corrupted) and fallbacks >= 1
+    )
+    report.wall_s = time.perf_counter() - t0
+    return report

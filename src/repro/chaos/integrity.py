@@ -1,0 +1,113 @@
+"""End-to-end integrity verification: CRC32 checksums for NPZ artifacts.
+
+Restart files and mesh-cache spills are the long-lived state of a
+campaign; a bit flipped on disk (or a partial write the zip layer
+happens not to notice) must be *detected at load time*, not discovered
+as garbage seismograms a week later.  This module provides the shared
+checksum machinery: :func:`array_checksums` fingerprints every array of
+an NPZ payload with CRC32, :func:`verify_checksums` re-checks them on
+load, and the writers (:mod:`repro.solver.checkpoint` format v3,
+:func:`repro.campaign.mesh_cache.save_mesh_npz`) embed the map as a
+JSON member named :data:`INTEGRITY_KEY`.
+
+Failures are typed per consumer: a corrupt checkpoint raises
+``CheckpointCorruptionError`` (defined next to ``CheckpointError`` in
+:mod:`repro.solver.checkpoint`, subclassing both it and
+:class:`IntegrityError`); a corrupt cache spill raises
+:class:`CacheCorruptionError`, which the cache quarantines and treats
+as a miss.  :func:`flip_bit` is the drill-side tool: deterministic
+single-bit file corruption for tests and the CI chaos drill.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "INTEGRITY_KEY",
+    "IntegrityError",
+    "CacheCorruptionError",
+    "array_checksums",
+    "verify_checksums",
+    "checksum_payload",
+    "parse_checksum_payload",
+    "flip_bit",
+]
+
+#: NPZ member under which the JSON checksum map is stored.
+INTEGRITY_KEY = "integrity_json"
+
+
+class IntegrityError(ValueError):
+    """Stored data does not match its recorded checksum."""
+
+
+class CacheCorruptionError(IntegrityError):
+    """A mesh-cache NPZ spill is corrupt (quarantined, treated as a miss)."""
+
+
+def _crc32(array: np.ndarray) -> int:
+    data = np.ascontiguousarray(array)
+    return zlib.crc32(data.tobytes()) & 0xFFFFFFFF
+
+
+def array_checksums(arrays: dict[str, np.ndarray]) -> dict[str, int]:
+    """CRC32 of every array's raw bytes (the integrity map to embed)."""
+    return {
+        name: _crc32(np.asarray(value))
+        for name, value in arrays.items()
+        if name != INTEGRITY_KEY
+    }
+
+
+def checksum_payload(arrays: dict[str, np.ndarray]) -> np.ndarray:
+    """The :data:`INTEGRITY_KEY` member: the checksum map as a JSON array."""
+    return np.asarray(json.dumps(array_checksums(arrays), sort_keys=True))
+
+
+def parse_checksum_payload(value: np.ndarray | str) -> dict[str, int]:
+    try:
+        return {str(k): int(v) for k, v in json.loads(str(value)).items()}
+    except (json.JSONDecodeError, AttributeError, TypeError) as exc:
+        raise IntegrityError(f"unreadable integrity map: {exc}") from exc
+
+
+def verify_checksums(
+    arrays: dict[str, np.ndarray], expected: dict[str, int]
+) -> None:
+    """Raise :class:`IntegrityError` naming every mismatched array.
+
+    Arrays missing from ``expected`` (or vice versa) count as mismatches
+    too — a truncated member set is corruption, not a format variant.
+    """
+    actual = array_checksums(arrays)
+    bad = sorted(
+        set(actual) ^ set(expected)
+        | {name for name in set(actual) & set(expected)
+           if actual[name] != expected[name]}
+    )
+    if bad:
+        raise IntegrityError(
+            f"CRC32 mismatch for array(s): {', '.join(bad)}"
+        )
+
+
+def flip_bit(path: str | Path, bit: int = 0) -> Path:
+    """Flip one bit of a file in place (deterministic drill corruption).
+
+    ``bit`` indexes into the file's bits modulo its size; the middle of
+    the file (compressed array data rather than zip headers) is a good
+    target: ``flip_bit(p, bit=8 * (size // 2))``.
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    if not raw:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    pos = bit % (len(raw) * 8)
+    raw[pos // 8] ^= 1 << (pos % 8)
+    path.write_bytes(bytes(raw))
+    return path

@@ -17,6 +17,7 @@ from .parameters import (
     IO_MODES,
     KERNEL_VARIANTS,
     STATION_LOCATION_MODES,
+    ConfigError,
     ParameterError,
     SimulationParameters,
     params_for_period,
@@ -37,6 +38,7 @@ __all__ = [
     "IO_MODES",
     "KERNEL_VARIANTS",
     "STATION_LOCATION_MODES",
+    "ConfigError",
     "ParameterError",
     "SimulationParameters",
     "params_for_period",

@@ -15,7 +15,16 @@ from typing import Any, Mapping
 from . import constants
 
 
-class ParameterError(ValueError):
+class ConfigError(ValueError):
+    """Base class for configuration errors (bad values or combinations).
+
+    Catching this covers every misconfiguration the config layer can
+    raise; the campaign retry policy classifies it as permanent — a bad
+    Par_file does not get better on retry.
+    """
+
+
+class ParameterError(ConfigError):
     """Raised when a parameter combination violates a composition rule."""
 
 
@@ -78,6 +87,11 @@ class SimulationParameters:
     courant: float = constants.COURANT_SUGGESTED
     nstep_override: int | None = None
 
+    # Robustness.
+    #: Run the numerical health sentinel every N steps (``None`` = off).
+    #: See :mod:`repro.chaos.sentinel`.
+    health_check_every: int | None = None
+
     # Reproducibility.
     seed: int = 12345
 
@@ -114,6 +128,15 @@ class SimulationParameters:
             raise ParameterError(f"courant must be in (0, 1], got {self.courant}")
         if self.record_length_s <= 0.0:
             raise ParameterError("record_length_s must be positive")
+        if self.nstep_override is not None and self.nstep_override < 1:
+            raise ParameterError(
+                f"nstep_override must be >= 1, got {self.nstep_override}"
+            )
+        if self.health_check_every is not None and self.health_check_every < 1:
+            raise ParameterError(
+                f"health_check_every must be >= 1, "
+                f"got {self.health_check_every}"
+            )
 
     # -- Derived quantities ---------------------------------------------------
 
@@ -170,6 +193,7 @@ class SimulationParameters:
             "RECORD_LENGTH_S": self.record_length_s,
             "COURANT": self.courant,
             "NSTEP_OVERRIDE": self.nstep_override,
+            "HEALTH_CHECK_EVERY": self.health_check_every,
             "SEED": self.seed,
         }
 
@@ -201,6 +225,7 @@ class SimulationParameters:
             "RECORD_LENGTH_S": "record_length_s",
             "COURANT": "courant",
             "NSTEP_OVERRIDE": "nstep_override",
+            "HEALTH_CHECK_EVERY": "health_check_every",
             "SEED": "seed",
         }
         kwargs: dict[str, Any] = {}

@@ -26,6 +26,14 @@ A receive that never completes raises the typed
 deadline defaults to the cluster's program timeout (``VirtualCluster.run
 (..., timeout=...)``) rather than a private constant, so a single lost
 message and a hung program surface through the same typed error.
+Barriers carry the same deadline: a rank whose peers never arrive raises
+:class:`RankTimeoutError` instead of blocking forever.
+
+Fault injection: ``VirtualCluster(fault_plan=...)`` wraps every rank's
+communicator in a :class:`~repro.chaos.faults.ChaosComm`, so a seeded
+:class:`~repro.chaos.faults.FaultPlan` can drop, delay, duplicate, or
+bit-flip messages and crash or stall chosen ranks — without the rank
+programs (or the halo exchanger) changing at all.
 """
 
 from __future__ import annotations
@@ -47,6 +55,9 @@ __all__ = [
     "VirtualComm",
     "VirtualCluster",
 ]
+
+#: Reduction operators :meth:`VirtualComm.allreduce` understands.
+ALLREDUCE_OPS = ("sum", "min", "max")
 
 
 @dataclass
@@ -192,13 +203,44 @@ class VirtualComm:
     # -- collectives -------------------------------------------------------------
 
     def barrier(self) -> None:
+        """Block until every rank arrives — bounded by the same per-receive
+        deadline as :meth:`recv`, so a hung or dead peer raises
+        :class:`~repro.parallel.errors.RankTimeoutError` instead of
+        wedging this rank forever.
+        """
+        deadline = self._cluster.recv_timeout_s
         t0 = time.perf_counter()
-        self._cluster._barrier.wait()
+        try:
+            self._cluster._barrier.wait(timeout=deadline)
+        except threading.BrokenBarrierError:
+            elapsed = time.perf_counter() - t0
+            self.stats.comm_time_s += elapsed
+            if elapsed >= deadline - 1e-3:
+                # Our own wait expired: the peers never arrived.
+                raise RankTimeoutError(
+                    self.rank,
+                    TimeoutError(
+                        f"rank {self.rank}: barrier not reached by all "
+                        f"ranks within {deadline}s"
+                    ),
+                ) from None
+            # Broken by another rank's abort — a secondary effect of the
+            # first real failure; re-raise so run() can filter it out.
+            raise
         self.stats.comm_time_s += time.perf_counter() - t0
         self.stats.barriers += 1
 
     def allreduce(self, value: np.ndarray | float, op: str = "sum"):
-        """Allreduce over all ranks (sum/min/max), returning the same type."""
+        """Allreduce over all ranks (sum/min/max), returning the same type.
+
+        Unknown ``op`` strings are rejected with :class:`ValueError`
+        before any rank-coordination happens, so a typo cannot leave the
+        other ranks stuck at the collect barrier.
+        """
+        if op not in ALLREDUCE_OPS:
+            raise ValueError(
+                f"allreduce op must be one of {ALLREDUCE_OPS}, got {op!r}"
+            )
         t0 = time.perf_counter()
         result = self._cluster._allreduce(self.rank, np.asarray(value), op)
         self.stats.comm_time_s += time.perf_counter() - t0
@@ -208,7 +250,13 @@ class VirtualComm:
         return result
 
     def gather(self, value, root: int = 0):
-        """Gather arbitrary per-rank objects at the root (returns list or None)."""
+        """Gather arbitrary per-rank objects at the root (returns list or None).
+
+        An out-of-range ``root`` is rejected with :class:`ValueError`
+        before coordination, mirroring :meth:`allreduce`'s op check.
+        """
+        if not 0 <= root < self.size:
+            raise ValueError(f"invalid gather root {root} for size {self.size}")
         t0 = time.perf_counter()
         out = self._cluster._gather(self.rank, value, root)
         self.stats.comm_time_s += time.perf_counter() - t0
@@ -236,7 +284,12 @@ class VirtualCluster:
     #: deadline when neither is overridden.
     DEFAULT_TIMEOUT_S = 600.0
 
-    def __init__(self, size: int, recv_timeout_s: float | None = None):
+    def __init__(
+        self,
+        size: int,
+        recv_timeout_s: float | None = None,
+        fault_plan=None,
+    ):
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
         if recv_timeout_s is not None and recv_timeout_s <= 0:
@@ -244,6 +297,11 @@ class VirtualCluster:
                 f"recv_timeout_s must be positive, got {recv_timeout_s}"
             )
         self.size = size
+        #: Optional :class:`repro.chaos.faults.FaultPlan`; when set, every
+        #: rank's comm is wrapped in a ``ChaosComm`` that injects the
+        #: plan's faults.  Firing state lives on the plan, so a retried
+        #: run with the same plan sees already-exhausted faults stay quiet.
+        self.fault_plan = fault_plan
         self._recv_timeout_s = recv_timeout_s
         self._run_timeout_s = self.DEFAULT_TIMEOUT_S
         self._mailboxes = [queue.Queue() for _ in range(size)]
@@ -298,7 +356,7 @@ class VirtualCluster:
             pending.append((src, t, data))
 
     def _allreduce(self, rank: int, value: np.ndarray, op: str) -> np.ndarray:
-        if op not in ("sum", "min", "max"):
+        if op not in ALLREDUCE_OPS:
             raise ValueError(f"unsupported allreduce op {op!r}")
         if self.size == 1:
             return value.copy()
@@ -358,8 +416,15 @@ class VirtualCluster:
 
         def runner(rank: int) -> None:
             comm = VirtualComm(self, rank)
+            facade = comm
+            if self.fault_plan is not None:
+                # Imported lazily: the chaos package is an optional layer
+                # on top of the comm core, not a dependency of it.
+                from ..chaos.faults import ChaosComm
+
+                facade = ChaosComm(comm, self.fault_plan)
             try:
-                results[rank] = program(comm)
+                results[rank] = program(facade)
             except BaseException as exc:  # noqa: BLE001 - propagated below
                 errors[rank] = exc
                 # Break the barriers so other ranks do not hang forever.

@@ -112,6 +112,8 @@ def run_distributed_simulation(
     trace: bool = False,
     overlap: bool | None = None,
     n_segments: int = 1,
+    fault_plan=None,
+    recv_timeout_s: float | None = None,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
@@ -128,6 +130,16 @@ def run_distributed_simulation(
     splits the marching into that many back-to-back ``solver.run``
     segments over one shared time grid (the campaign restart pattern),
     exercising state carry-over without changing the results.
+
+    ``fault_plan`` (a :class:`~repro.chaos.faults.FaultPlan`) wraps every
+    rank's communicator in a fault-injecting ``ChaosComm`` — the chaos
+    drills run this very function unchanged under injected message drops
+    and rank crashes.  ``recv_timeout_s`` shortens the per-receive (and
+    barrier) deadline below ``timeout_s``, so a dropped message surfaces
+    as :class:`RankTimeoutError` quickly instead of after the full
+    program timeout.  When ``params.health_check_every`` is set, every
+    rank's solver runs a :class:`~repro.chaos.sentinel.HealthSentinel`
+    labelled with its own rank.
     """
     import time as _time
 
@@ -208,6 +220,13 @@ def run_distributed_simulation(
         rank_metrics = metrics[rank] if metrics is not None else None
         exchanger = HaloExchanger(comm, halos[rank], tracer=rank_tracer)
         my_stations = station_assignment.get(rank, [])
+        sentinel = None
+        if params.health_check_every is not None:
+            from ..chaos.sentinel import HealthSentinel
+
+            sentinel = HealthSentinel(
+                check_every=params.health_check_every, rank=rank
+            )
         solver = GlobalSolver(
             slices[rank],
             params,
@@ -222,6 +241,7 @@ def run_distributed_simulation(
             metrics=rank_metrics,
             overlap_exchanger=exchanger if overlap else None,
             element_splits=splits[rank] if overlap else None,
+            health_sentinel=sentinel,
         )
         # The allreduce a real run would perform (a no-op on equal values,
         # but it exercises and accounts the collective).
@@ -261,7 +281,11 @@ def run_distributed_simulation(
         }
         return comm.gather(payload, root=0)
 
-    cluster = VirtualCluster(grid.nproc_total)
+    cluster = VirtualCluster(
+        grid.nproc_total,
+        recv_timeout_s=recv_timeout_s,
+        fault_plan=fault_plan,
+    )
     try:
         results = cluster.run(program, timeout=timeout_s)
     # Order matters: RankTimeoutError is both a RankFailedError and a

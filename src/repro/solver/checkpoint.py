@@ -14,6 +14,16 @@ target directory and atomically renamed into place, so a job killed
 mid-checkpoint never leaves a truncated file that would block restart.
 Unreadable or truncated checkpoints are rejected with
 :class:`CheckpointError`.
+
+Format v3 adds end-to-end integrity verification: every array is
+fingerprinted with CRC32 at save time (:mod:`repro.chaos.integrity`) and
+re-verified on load, so silent on-disk corruption — a flipped bit, a
+partial overwrite the zip layer happens to accept — surfaces as the
+typed :class:`CheckpointCorruptionError` instead of garbage state.  The
+campaign's segmented executor treats that error as "fall back to the
+last *verified* checkpoint"; the retry policy treats it as fail-fast
+for the artifact (re-running the same load cannot fix the file).  v1/v2
+checkpoints still load, with a warning that they carry no checksums.
 """
 
 from __future__ import annotations
@@ -26,16 +36,39 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
+from ..chaos.integrity import (
+    INTEGRITY_KEY,
+    IntegrityError,
+    checksum_payload,
+    parse_checksum_payload,
+    verify_checksums,
+)
 
-_FORMAT_VERSION = 2
+__all__ = [
+    "CheckpointError",
+    "CheckpointCorruptionError",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+_FORMAT_VERSION = 3
 
 #: Format versions :func:`load_checkpoint` still understands.
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 class CheckpointError(ValueError):
     """A checkpoint file is corrupt, truncated, or otherwise unreadable."""
+
+
+class CheckpointCorruptionError(CheckpointError, IntegrityError):
+    """A checkpoint failed integrity verification (corrupt on disk).
+
+    Raised when the v3 CRC32 map does not match the loaded arrays, and
+    for files the NPZ/zip layer itself rejects as damaged.  Typed so the
+    campaign layer can fall back to the last *verified* checkpoint and
+    the retry policy can fail fast instead of re-reading a bad file.
+    """
 
 
 def save_checkpoint(solver, path: str | Path, step: int) -> Path:
@@ -72,6 +105,8 @@ def save_checkpoint(solver, path: str | Path, step: int) -> Path:
         arrays["seis_data"] = rs.data
         arrays["seis_step"] = np.asarray(int(rs.step_cursor))
         arrays["seis_n_steps"] = np.asarray(int(rs.n_steps))
+    # v3: CRC32 of every array, re-verified on load.
+    arrays[INTEGRITY_KEY] = checksum_payload(arrays)
 
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -96,12 +131,13 @@ def _read_arrays(path: Path) -> dict[str, np.ndarray]:
     try:
         with np.load(path, allow_pickle=False) as f:
             # Force full decompression of every member: a file truncated
-            # mid-write fails here instead of at first (lazy) access.
+            # mid-write fails here instead of at first (lazy) access, and
+            # a flipped bit trips the zip layer's own CRC right here.
             return {name: np.array(f[name]) for name in f.files}
     except CheckpointError:
         raise
     except Exception as exc:
-        raise CheckpointError(
+        raise CheckpointCorruptionError(
             f"checkpoint {path} is corrupt or truncated: {exc}"
         ) from exc
 
@@ -121,6 +157,28 @@ def load_checkpoint(solver, path: str | Path) -> int:
     version = int(f["version"])
     if version not in _READABLE_VERSIONS:
         raise ValueError(f"unsupported checkpoint version {version}")
+    # -- Integrity verification (format v3) --------------------------------
+    if version >= 3:
+        if INTEGRITY_KEY not in f:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} is format v{version} but lacks its "
+                f"integrity map"
+            )
+        try:
+            verify_checksums(
+                {k: v for k, v in f.items() if k != INTEGRITY_KEY},
+                parse_checksum_payload(f[INTEGRITY_KEY]),
+            )
+        except IntegrityError as exc:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path} failed integrity verification: {exc}"
+            ) from exc
+    else:
+        warnings.warn(
+            f"checkpoint {path} is format v{version} (no integrity "
+            "checksums): on-disk corruption cannot be detected",
+            stacklevel=2,
+        )
     saved_dt = float(f["dt"])
     # Relative comparison via math.isclose: tolerates the dt == 0 edge
     # (both zero compares equal; zero vs. non-zero is rejected) instead of

@@ -215,6 +215,7 @@ class GlobalSolver:
         metrics=None,
         overlap_exchanger=None,
         element_splits: dict | None = None,
+        health_sentinel=None,
     ):
         self.params = params
         #: Observability hooks: a no-op tracer unless one is injected, and
@@ -222,6 +223,18 @@ class GlobalSolver:
         #: per timestep.
         self.tracer = maybe_tracer(tracer)
         self.metrics = metrics
+        #: Numerical health sentinel (:mod:`repro.chaos.sentinel`): either
+        #: injected (the launcher passes per-rank sentinels) or
+        #: auto-created when ``params.health_check_every`` is set, so every
+        #: entry point — serial apps, segmented campaigns, distributed
+        #: runs — gets the same divergence detection from one knob.
+        if health_sentinel is None and params.health_check_every is not None:
+            from ..chaos.sentinel import HealthSentinel
+
+            health_sentinel = HealthSentinel(
+                check_every=params.health_check_every
+            )
+        self.health_sentinel = health_sentinel
         self.basis = GLLBasis(constants.NGLLX)
         self.assembler = assembler or (lambda region, arr: arr)
         #: Optional combined-message assembler for several solid regions at
@@ -589,6 +602,22 @@ class GlobalSolver:
                     self._one_step(t)
                     for cb in callbacks or ():
                         cb(step, self)
+                    sentinel = self.health_sentinel
+                    if sentinel is not None and (
+                        sentinel.due(step) or step == stop - 1
+                    ):
+                        # The final step is always checked so a blow-up in
+                        # the last partial interval cannot slip into the
+                        # returned seismograms unflagged.
+                        with tr.span("health.check", step=step):
+                            if metrics is not None:
+                                metrics.counter("health.checks").add(1)
+                            try:
+                                sentinel.check(self, step)
+                            except Exception:
+                                if metrics is not None:
+                                    metrics.counter("health.failures").add(1)
+                                raise
                     if self.receiver_set is not None:
                         cm = self.regions[RegionCode.CRUST_MANTLE]
                         with tr.span("io.seismogram_record") as sp:

@@ -461,7 +461,7 @@ class TestCampaignAcceptance:
         assert metrics.counter("campaign.mesh_cache.hits").value == 3
         assert cache.stats() == {
             "entries": 1, "hits": 3, "misses": 1,
-            "disk_hits": 0, "evictions": 0,
+            "disk_hits": 0, "evictions": 0, "corruptions": 0,
         }
         # Identical physics from the shared mesh: all four seismograms
         # exist and match bit-for-bit.
