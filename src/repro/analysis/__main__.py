@@ -1,0 +1,122 @@
+"""CLI of the static analyzer: ``python -m repro.analysis <command>``.
+
+Commands
+--------
+``check PATH... [--format text|json] [--rules R1,R3] [--baseline FILE |
+--no-baseline] [--report FILE]``
+    Run the rule pack; exit 1 if any unsuppressed finding remains.
+    The baseline is auto-discovered (nearest ``.repro-analysis-
+    baseline.json`` at or above the first path) unless overridden.
+``rules``
+    List registered rule ids and titles.
+``explain RULE``
+    Print one rule's full rationale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .static import REGISTRY, Baseline, check_paths
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    baseline = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline = Baseline.load(args.baseline)
+        else:
+            baseline = Baseline.discover(args.paths[0])
+    rule_ids = args.rules.split(",") if args.rules else None
+    try:
+        report = check_paths(
+            [Path(p) for p in args.paths],
+            baseline=baseline,
+            rule_ids=rule_ids,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        Path(args.report).write_text(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding)
+        print(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_checked} file(s) "
+            f"({report.suppressed} pragma-suppressed, "
+            f"{report.baselined} baselined)"
+        )
+    return 0 if report.clean else 1
+
+
+def _cmd_rules(_args: argparse.Namespace) -> int:
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        scope = ", ".join(rule.scope_dirs + rule.scope_suffixes) or "all files"
+        print(f"{rule_id}  {rule.title}  [{scope}]")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    rule = REGISTRY.get(args.rule)
+    if rule is None:
+        print(
+            f"error: unknown rule {args.rule!r}; known: {sorted(REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{rule.id}: {rule.title}")
+    print()
+    print(rule.rationale)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analyzer for the repo's SPMD and numerical "
+        "invariants.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run the rule pack over paths")
+    check.add_argument("paths", nargs="+", help="files or directories")
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format",
+    )
+    check.add_argument(
+        "--rules", default=None, help="comma-separated subset of rule ids"
+    )
+    check.add_argument(
+        "--baseline", default=None, help="explicit baseline file path"
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    check.add_argument(
+        "--report", default=None,
+        help="also write the JSON report to this file",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    rules = sub.add_parser("rules", help="list registered rules")
+    rules.set_defaults(func=_cmd_rules)
+
+    explain = sub.add_parser("explain", help="print one rule's rationale")
+    explain.add_argument("rule", help="rule id, e.g. R1")
+    explain.set_defaults(func=_cmd_explain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

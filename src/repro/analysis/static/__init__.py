@@ -1,0 +1,32 @@
+"""Domain-specific static analyzer (stdlib-``ast``, dependency-free).
+
+Public surface re-exported from :mod:`.core` and :mod:`.rules`; the CLI
+lives in :mod:`repro.analysis.__main__` (``python -m repro.analysis
+check src``).  See ``docs/architecture.md`` for the rule catalog and
+the pragma/baseline workflow.
+"""
+
+from .core import (
+    REGISTRY,
+    Baseline,
+    FileContext,
+    Finding,
+    Report,
+    Rule,
+    check_paths,
+    normalize_path,
+    register,
+)
+from . import rules as _rules  # noqa: F401  (populates REGISTRY on import)
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "REGISTRY",
+    "Report",
+    "Rule",
+    "check_paths",
+    "normalize_path",
+    "register",
+]

@@ -1,0 +1,366 @@
+"""Framework of the domain-specific static analyzer.
+
+Dependency-free (stdlib ``ast`` + ``tokenize``) machinery shared by the
+rule pack in :mod:`repro.analysis.static.rules`:
+
+* :class:`Rule` — base class; concrete rules declare an ``id``, a scope
+  (directory names and/or path suffixes), and a ``check`` over one
+  parsed file.  The :func:`register` decorator adds them to the global
+  :data:`REGISTRY`.
+* :class:`FileContext` — one parsed source file with an AST parent map,
+  enclosing-scope lookup, and the comment-derived pragma state: ``#
+  repro: disable=R1,R3 - reason`` suppresses those rules on its line
+  (a standalone pragma comment suppresses the next line), and ``#
+  repro: hot-loop`` on a ``def`` line marks a time-step-loop function
+  for rule R3.
+* :class:`Baseline` — the reviewed grandfather list.  Keys are
+  ``rule:path:scope`` (line-number free, so unrelated edits do not
+  invalidate them); every entry carries a one-line justification.
+* :func:`check_paths` — run the (selected) rules over files/trees and
+  fold pragma and baseline suppression into a :class:`Report`.
+
+The rules are deliberately *approximate* — sound enough to catch the
+bug classes that matter here, simple enough to audit.  When a rule is
+wrong about a specific site, the pragma records the human judgement in
+the source; when a finding is known and accepted, the baseline records
+it with a justification.  Neither mechanism is silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "REGISTRY",
+    "Report",
+    "Rule",
+    "check_paths",
+    "normalize_path",
+    "register",
+]
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(.+)")
+
+
+def normalize_path(path: str | Path) -> str:
+    """Stable, repo-relative form of a path for baseline keys.
+
+    Starts at the first ``repro`` path component when present (so
+    ``/home/x/repo/src/repro/parallel/halo.py`` and a checkout elsewhere
+    produce the same key); otherwise the path is used as given.
+    """
+    parts = PurePath(path).parts
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return PurePath(path).as_posix()
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    scope: str
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.rule}:{normalize_path(self.path)}:{self.scope}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.scope}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "scope": self.scope,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+class FileContext:
+    """One parsed file plus the lookups every rule needs."""
+
+    def __init__(self, path: str | Path, source: str):
+        self.path = Path(path)
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        #: line -> rule ids suppressed on that line.
+        self.disabled: dict[int, set[str]] = {}
+        #: ``def`` lines carrying the ``# repro: hot-loop`` marker.
+        self.hot_lines: set[int] = set()
+        self._scan_pragmas()
+
+    def _scan_pragmas(self) -> None:
+        lines = self.source.splitlines()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError):
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _PRAGMA_RE.match(tok.string)
+            if not m:
+                continue
+            body = m.group(1).strip()
+            row = tok.start[0]
+            before = lines[row - 1][: tok.start[1]] if row <= len(lines) else ""
+            # A standalone pragma comment governs the next line; an
+            # inline one governs its own.
+            targets = [row + 1] if not before.strip() else [row]
+            if body.startswith("disable="):
+                spec = body[len("disable="):].split()[0]
+                rules = {r.strip() for r in spec.split(",") if r.strip()}
+                for t in targets:
+                    self.disabled.setdefault(t, set()).update(rules)
+            elif body.startswith("hot-loop"):
+                for t in targets:
+                    self.hot_lines.add(t)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted enclosing function/class name, or ``<module>``."""
+        names: list[str] = []
+        current: ast.AST | None = self.parents.get(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        current: ast.AST | None = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return finding.rule in self.disabled.get(finding.line, set())
+
+
+class Rule:
+    """Base class for one analyzer rule.
+
+    ``scope_dirs`` restricts the rule to files whose *directory* path
+    contains one of the names (the basename is excluded, so a file
+    merely called ``parallel.py`` is not in scope); ``scope_suffixes``
+    admits specific files (e.g. ``solver/solver.py``) regardless of
+    directory scope.  Empty scope means every file.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scope_dirs: tuple[str, ...] = ()
+    scope_suffixes: tuple[str, ...] = ()
+
+    def applies_to(self, path: str | Path) -> bool:
+        if not self.scope_dirs and not self.scope_suffixes:
+            return True
+        p = PurePath(path)
+        if any(part in self.scope_dirs for part in p.parts[:-1]):
+            return True
+        posix = p.as_posix()
+        return any(posix.endswith(suffix) for suffix in self.scope_suffixes)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 0),
+            scope=ctx.scope_of(node),
+            message=message,
+        )
+
+
+#: All registered rules by id.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule instance to :data:`REGISTRY`."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    REGISTRY[rule.id] = rule
+    return cls
+
+
+class Baseline:
+    """The reviewed list of grandfathered findings.
+
+    JSON format::
+
+        {"version": 1,
+         "entries": [{"key": "R5:repro/campaign/workers.py:WorkerPool._execute",
+                      "justification": "one line on why this is deliberate"}]}
+
+    Matching is by :attr:`Finding.key`; entries without a justification
+    are rejected so the file stays a record of decisions, not a dump.
+    """
+
+    FILENAME = ".repro-analysis-baseline.json"
+
+    def __init__(self, entries: dict[str, str] | None = None):
+        self.entries: dict[str, str] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        entries: dict[str, str] = {}
+        for entry in data.get("entries", []):
+            key = entry.get("key")
+            justification = entry.get("justification", "").strip()
+            if not key or not justification:
+                raise ValueError(
+                    f"baseline entry {entry!r} needs both a key and a "
+                    f"non-empty justification"
+                )
+            entries[key] = justification
+        return cls(entries)
+
+    @classmethod
+    def discover(cls, start: str | Path) -> "Baseline | None":
+        """Find and load the nearest baseline file at or above ``start``."""
+        current = Path(start).resolve()
+        if current.is_file():
+            current = current.parent
+        for directory in [current, *current.parents]:
+            candidate = directory / cls.FILENAME
+            if candidate.is_file():
+                return cls.load(candidate)
+        return None
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.key in self.entries
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _iter_py_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def check_paths(
+    paths: list[str | Path],
+    baseline: Baseline | None = None,
+    rule_ids: list[str] | None = None,
+) -> Report:
+    """Run the rule pack over files/directories and build a report.
+
+    ``rule_ids`` restricts to a subset of the registry (unknown ids
+    raise).  Pragma- and baseline-suppressed findings are counted but
+    excluded from ``report.findings``; files that fail to parse produce
+    a non-suppressible ``parse`` finding rather than aborting the run.
+    """
+    # Ensure the built-in rule pack is registered even if the caller
+    # imported only this module.
+    from . import rules as _rules  # noqa: F401
+
+    if rule_ids is None:
+        selected = list(REGISTRY.values())
+    else:
+        unknown = [r for r in rule_ids if r not in REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {unknown}; known: {sorted(REGISTRY)}"
+            )
+        selected = [REGISTRY[r] for r in rule_ids]
+
+    report = Report()
+    for path in _iter_py_files(paths):
+        applicable = [r for r in selected if r.applies_to(path)]
+        if not applicable:
+            continue
+        report.files_checked += 1
+        try:
+            ctx = FileContext(path, path.read_text())
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule="parse",
+                    path=str(path),
+                    line=exc.lineno or 0,
+                    scope="<module>",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        for rule in applicable:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding):
+                    report.suppressed += 1
+                elif baseline is not None and baseline.matches(finding):
+                    report.baselined += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

@@ -1,0 +1,533 @@
+"""The rule pack: this codebase's SPMD and numerical invariants.
+
+Each rule encodes a discipline the paper's production runs depended on
+(see the rationale strings, surfaced by ``python -m repro.analysis
+explain RULE``).  Rules are heuristic by design — they over-approximate
+where the alternative is missing a real bug, and every false positive
+has a recorded escape hatch (pragma or baseline entry).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Finding, Rule, register
+
+__all__ = [
+    "BroadExceptRule",
+    "DeterminismRule",
+    "HotLoopAllocRule",
+    "LeakedRequestRule",
+    "MagicTagRule",
+]
+
+
+def _attr_chain(node: ast.AST) -> str | None:
+    """Dotted source text of a Name/Attribute chain (``np.random.rand``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _contains_wait_site(node: ast.AST, name: str) -> bool:
+    """Does the subtree call ``name.wait(...)``?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "wait"
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+        ):
+            return True
+    return False
+
+
+@register
+class LeakedRequestRule(Rule):
+    """R1: every isend/irecv request must reach a wait on all paths."""
+
+    id = "R1"
+    title = "leaked non-blocking request"
+    rationale = (
+        "An irecv whose request is never waited silently drops a halo "
+        "contribution — the mass-matrix or force assembly is then wrong "
+        "on exactly one slice boundary, which surfaces only as a flaky "
+        "bit-identity failure.  An unwaited isend is legal-looking code "
+        "that deadlocks on a real MPI once payloads cross the rendezvous "
+        "threshold.  The rule flags requests whose result is discarded, "
+        "never used, or waited only on some control-flow paths; handles "
+        "that escape (stored, returned, passed to waitall or a helper) "
+        "are assumed managed by their new owner."
+    )
+    scope_dirs = ("parallel", "solver")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("isend", "irecv")
+            ):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.Expr):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"result of {node.func.attr}() is discarded — the "
+                        f"request can never reach a wait",
+                    )
+                )
+                continue
+            if (
+                isinstance(parent, ast.Assign)
+                and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)
+            ):
+                found = self._check_named(
+                    ctx, node, parent, parent.targets[0].id
+                )
+                if found is not None:
+                    findings.append(found)
+            # Any other context (call argument, list element, attribute
+            # store, tuple unpack) hands the request to other code; the
+            # new owner is responsible and out of intra-function reach.
+        return findings
+
+    def _check_named(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        assign: ast.Assign,
+        name: str,
+    ) -> Finding | None:
+        scope: ast.AST = ctx.enclosing_function(call) or ctx.tree
+        used = False
+        for sub in ast.walk(scope):
+            if not (
+                isinstance(sub, ast.Name)
+                and sub.id == name
+                and isinstance(sub.ctx, ast.Load)
+            ):
+                continue
+            used = True
+            sub_parent = ctx.parent(sub)
+            is_wait = (
+                isinstance(sub_parent, ast.Attribute)
+                and sub_parent.attr == "wait"
+                and isinstance(ctx.parent(sub_parent), ast.Call)
+            )
+            if not is_wait:
+                # Escapes: appended to a pending list, passed to
+                # waitall/wait_many, returned — assume managed.
+                return None
+        if not used:
+            return self.finding(
+                ctx,
+                call,
+                f"request {name!r} from {call.func.attr}() is never "
+                f"waited on",
+            )
+        if self._covered_after(ctx, assign, name):
+            return None
+        return self.finding(
+            ctx,
+            call,
+            f"request {name!r} from {call.func.attr}() is not waited on "
+            f"all control-flow paths",
+        )
+
+    def _covered_after(
+        self, ctx: FileContext, stmt: ast.stmt, name: str
+    ) -> bool:
+        """Is a wait guaranteed on every path after ``stmt``?
+
+        Climbs enclosing blocks: statements following ``stmt`` in its
+        block must cover, or fall-through continues into the parent
+        block.  Loops never guarantee execution of their body.
+        """
+        current: ast.stmt = stmt
+        while True:
+            parent = ctx.parent(current)
+            if parent is None:
+                return False
+            block: list[ast.stmt] | None = None
+            for _field, value in ast.iter_fields(parent):
+                if isinstance(value, list) and current in value:
+                    block = value
+                    break
+            if block is None:
+                return False
+            rest = block[block.index(current) + 1 :]
+            if self._seq_covers(rest, name):
+                return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            if not isinstance(parent, ast.stmt):
+                return False
+            current = parent
+
+    def _seq_covers(self, stmts: list[ast.stmt], name: str) -> bool:
+        return any(self._stmt_covers(s, name) for s in stmts)
+
+    def _stmt_covers(self, stmt: ast.stmt, name: str) -> bool:
+        if isinstance(stmt, ast.Raise):
+            return True
+        if isinstance(stmt, ast.If):
+            return bool(
+                stmt.orelse
+                and self._seq_covers(stmt.body, name)
+                and self._seq_covers(stmt.orelse, name)
+            )
+        if isinstance(stmt, ast.Try):
+            return self._seq_covers(stmt.body, name) or self._seq_covers(
+                stmt.finalbody, name
+            )
+        if isinstance(stmt, ast.With):
+            return self._seq_covers(stmt.body, name)
+        if isinstance(stmt, (ast.For, ast.While)):
+            return False  # the body may execute zero times
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return False
+        return _contains_wait_site(stmt, name)
+
+
+@register
+class MagicTagRule(Rule):
+    """R2: comm tags come from parallel/tags.py, and channels don't collide."""
+
+    id = "R2"
+    title = "magic message tag"
+    rationale = (
+        "Tag values are the wire-level namespace of the halo protocol: a "
+        "literal 2000 at one call site and a literal 2000 at another are "
+        "an invisible coupling, and two channels closer than one region "
+        "block silently cross-match messages.  All tags must be named "
+        "constants from repro/parallel/tags.py (or region_tag() over "
+        "them); the rule additionally re-derives the registry from that "
+        "file's AST and rejects bases closer than TAG_BLOCK."
+    )
+    scope_dirs = ("parallel", "solver")
+
+    #: positional index of the ``tag`` parameter per comm method.
+    TAG_ARG_INDEX = {"send": 2, "isend": 2, "recv": 1, "irecv": 1, "sendrecv": 3}
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.path.name == "tags.py":
+            return self._check_registry(ctx)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.TAG_ARG_INDEX
+            ):
+                continue
+            tag_expr: ast.expr | None = None
+            for kw in node.keywords:
+                if kw.arg == "tag":
+                    tag_expr = kw.value
+            if tag_expr is None:
+                index = self.TAG_ARG_INDEX[node.func.attr]
+                if len(node.args) > index:
+                    tag_expr = node.args[index]
+            if tag_expr is None:
+                continue
+            for sub in ast.walk(tag_expr):
+                if (
+                    isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, int)
+                    and not isinstance(sub.value, bool)
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"magic tag literal {sub.value} in "
+                            f"{node.func.attr}() — use a constant from "
+                            f"parallel/tags.py",
+                        )
+                    )
+                    break
+        return findings
+
+    def _check_registry(self, ctx: FileContext) -> list[Finding]:
+        """Re-derive the tag registry and verify channel separation."""
+        consts: dict[str, tuple[int, ast.stmt]] = {}
+        for stmt in ctx.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, int)
+                and not isinstance(stmt.value.value, bool)
+            ):
+                consts[stmt.targets[0].id] = (stmt.value.value, stmt)
+        block = consts.get("TAG_BLOCK", (1000, None))[0]
+        bases = sorted(
+            ((v, name, stmt) for name, (v, stmt) in consts.items()
+             if name != "TAG_BLOCK"),
+        )
+        findings: list[Finding] = []
+        for (va, na, _sa), (vb, nb, sb) in zip(bases, bases[1:]):
+            if vb - va < block:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        sb,
+                        f"tag channels {na}={va} and {nb}={vb} are closer "
+                        f"than TAG_BLOCK={block}: region offsets would "
+                        f"collide in tag space",
+                    )
+                )
+        return findings
+
+
+@register
+class HotLoopAllocRule(Rule):
+    """R3: no array allocation inside time-step-loop functions."""
+
+    id = "R3"
+    title = "allocation in time-step loop"
+    rationale = (
+        "The paper's kernels run ~50000 times per simulation; a fresh "
+        "np.zeros/np.empty/np.concatenate per call turns into allocator "
+        "traffic and page faults that dominate at scale, and a dtype-"
+        "less np.empty silently defaults to float64 on one platform and "
+        "whatever numpy decides on another.  Functions on the time-step "
+        "path carry a `# repro: hot-loop` marker on their def line (the "
+        "rule insists every compute_forces* kernel entry point does); "
+        "inside them, array allocation and list-append accumulation are "
+        "flagged — preallocate in __init__ and fill in place."
+    )
+    scope_dirs = ("kernels",)
+    scope_suffixes = ("solver/solver.py",)
+
+    ALLOC_ATTRS = ("zeros", "empty", "concatenate")
+    GATHER_ATTRS = ("concatenate", "stack", "array")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        in_kernels = "kernels" in ctx.path.parts[:-1]
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            hot = func.lineno in ctx.hot_lines
+            if in_kernels and func.name.startswith("compute_forces") and not hot:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        func,
+                        f"kernel entry point {func.name}() must carry a "
+                        f"`# repro: hot-loop` marker on its def line",
+                    )
+                )
+            if hot:
+                findings.extend(self._check_hot(ctx, func))
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _attr_chain(node.func) in ("np.empty", "numpy.empty")
+                and len(node.args) < 2
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "np.empty() without an explicit dtype — the field "
+                        "precision must be stated, not defaulted",
+                    )
+                )
+        return findings
+
+    def _check_hot(self, ctx: FileContext, func: ast.AST) -> list[Finding]:
+        findings: list[Finding] = []
+        list_names: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.List)
+                and not node.value.elts
+            ):
+                list_names.add(node.targets[0].id)
+        gathered: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and _attr_chain(node.func) in {
+                f"np.{a}" for a in self.GATHER_ATTRS
+            }:
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name):
+                            gathered.add(sub.id)
+        name = getattr(func, "name", "<lambda>")
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain in {f"np.{a}" for a in self.ALLOC_ATTRS} or chain in {
+                f"numpy.{a}" for a in self.ALLOC_ATTRS
+            }:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{chain}() allocates inside time-step-loop "
+                        f"function {name}() — preallocate and fill in "
+                        f"place",
+                    )
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in list_names
+                and node.func.value.id in gathered
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"list-append accumulation into an array inside "
+                        f"time-step-loop function {name}()",
+                    )
+                )
+        return findings
+
+
+@register
+class DeterminismRule(Rule):
+    """R4: no unseeded randomness or wall-clock reads in deterministic paths."""
+
+    id = "R4"
+    title = "non-determinism in deterministic path"
+    rationale = (
+        "Bit-identity between the blocking and overlapped schedules — "
+        "and between a run and its restart — is a load-bearing test "
+        "oracle here, as it was for the paper's validation.  Global-"
+        "state RNG (np.random.rand, random.random) and wall-clock reads "
+        "(time.time, datetime.now) make results depend on call order "
+        "and machine time.  Mesh, model, kernel, and solver code must "
+        "use an explicitly seeded np.random.default_rng(seed) and take "
+        "clocks as injected parameters."
+    )
+    scope_dirs = ("mesh", "kernels", "solver", "model")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None:
+                continue
+            if chain.startswith(("np.random.", "numpy.random.")):
+                leaf = chain.rsplit(".", 1)[1]
+                seeded = leaf == "default_rng" and (node.args or node.keywords)
+                if not seeded:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{chain}() in a deterministic path — use a "
+                            f"seeded np.random.default_rng(seed)",
+                        )
+                    )
+            elif chain.startswith("random."):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"stdlib {chain}() uses global RNG state — use a "
+                        f"seeded np.random.default_rng(seed)",
+                    )
+                )
+            elif chain in ("time.time", "datetime.now", "datetime.utcnow",
+                           "datetime.datetime.now", "datetime.datetime.utcnow"):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock read {chain}() in a deterministic "
+                        f"path — inject timestamps from the caller",
+                    )
+                )
+        return findings
+
+
+@register
+class BroadExceptRule(Rule):
+    """R5: no broad except that swallows the typed error hierarchy."""
+
+    id = "R5"
+    title = "broad exception swallowed"
+    rationale = (
+        "The parallel/campaign/chaos layers communicate failure through "
+        "a typed hierarchy (RankFailedError, NumericalHealthError, "
+        "CheckpointCorruptionError, ConfigError) that retry policies "
+        "and drills dispatch on.  A bare `except:` or an `except "
+        "Exception:` that does not re-raise collapses that hierarchy — "
+        "a genuine rank death gets retried like a transient, or a "
+        "corrupted checkpoint gets reported as success.  Handlers must "
+        "catch typed errors, or re-raise (possibly wrapped) what they "
+        "catch."
+    )
+    scope_dirs = ("parallel", "campaign", "chaos")
+
+    BROAD = ("Exception", "BaseException")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "bare `except:` swallows the typed error "
+                        "hierarchy (and KeyboardInterrupt)",
+                    )
+                )
+                continue
+            names = self._type_names(node.type)
+            broad = [n for n in names if n in self.BROAD]
+            if not broad:
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue  # re-raised (possibly wrapped): hierarchy intact
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"`except {broad[0]}` without re-raise swallows the "
+                    f"typed error hierarchy",
+                )
+            )
+        return findings
+
+    def _type_names(self, node: ast.expr) -> list[str]:
+        if isinstance(node, ast.Tuple):
+            names: list[str] = []
+            for elt in node.elts:
+                names.extend(self._type_names(elt))
+            return names
+        if isinstance(node, ast.Name):
+            return [node.id]
+        if isinstance(node, ast.Attribute):
+            return [node.attr]
+        return []

@@ -141,7 +141,7 @@ def _call_with_timeout(fn: Callable[[], Any], timeout_s: float | None, label: st
     def target() -> None:
         try:
             box["value"] = fn()
-        except BaseException as exc:  # noqa: BLE001 - re-raised below
+        except BaseException as exc:  # repro: disable=R5 - re-raised below
             box["error"] = exc
         finally:
             done.set()
@@ -321,6 +321,7 @@ class WorkerPool:
                     return
                 try:
                     result = self._execute(job, queue, tracer=tracer)
+                # repro: disable=R5 - re-raised on the joining thread
                 except BaseException as exc:  # pragma: no cover - defensive
                     errors.append(exc)
                     return

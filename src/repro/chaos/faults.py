@@ -35,6 +35,12 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from ..obs.metrics import MetricsRegistry
+    from ..parallel.comm import RecvRequest, SendRequest
+
 __all__ = [
     "FAULT_KINDS",
     "COMM_FAULT_KINDS",
@@ -150,7 +156,7 @@ class FaultPlan:
         self._fire_counts: dict[int, int] = {}
         #: Every fired fault as a dict (spec index, kind, rank, op, tag).
         self.events: list[dict] = []
-        self.metrics = None
+        self.metrics: "MetricsRegistry | None" = None
 
     # -- construction helpers ------------------------------------------------
 
@@ -158,7 +164,7 @@ class FaultPlan:
         self.specs.append(spec)
         return self
 
-    def attach_metrics(self, registry) -> "FaultPlan":
+    def attach_metrics(self, registry: "MetricsRegistry | None") -> "FaultPlan":
         """Count fired faults as ``chaos.faults.<kind>`` in ``registry``."""
         self.metrics = registry
         return self
@@ -246,7 +252,7 @@ class FaultPlan:
 
     # -- solver-side faults --------------------------------------------------
 
-    def solver_callback(self, rank: int = 0):
+    def solver_callback(self, rank: int = 0) -> "Callable[[int, object], None]":
         """A ``cb(step, solver)`` applying this plan's ``poison`` faults.
 
         Pass it through ``GlobalSolver.run(callbacks=[...])``; after the
@@ -291,11 +297,11 @@ class ChaosComm:
     the wrapped communicator untouched.
     """
 
-    def __init__(self, comm, plan: FaultPlan):
+    def __init__(self, comm, plan: FaultPlan) -> None:
         self._comm = comm
         self._plan = plan
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str):
         return getattr(self._comm, name)
 
     # -- fault application ---------------------------------------------------
@@ -332,16 +338,18 @@ class ChaosComm:
             self._comm.send(dest, payload, tag=tag)
         return None
 
-    def isend(self, dest: int, payload, tag: int = 0):
+    def isend(self, dest: int, payload, tag: int = 0) -> "SendRequest":
         from ..parallel.comm import SendRequest
 
         self.send(dest, payload, tag=tag)
         return SendRequest()
 
-    def recv(self, source: int, tag: int = 0, timeout: float | None = None):
+    def recv(
+        self, source: int, tag: int = 0, timeout: float | None = None
+    ) -> np.ndarray:
         return self._complete_recv(source, tag, timeout)
 
-    def irecv(self, source: int, tag: int = 0):
+    def irecv(self, source: int, tag: int = 0) -> "RecvRequest":
         from ..parallel.comm import RecvRequest
 
         # Bound to *this* wrapper: the eventual wait() funnels through
@@ -349,7 +357,9 @@ class ChaosComm:
         # path exactly like the blocking one.
         return RecvRequest(self, source, tag)
 
-    def _complete_recv(self, source: int, tag: int, timeout: float | None):
+    def _complete_recv(
+        self, source: int, tag: int, timeout: float | None
+    ) -> np.ndarray:
         fired = self._plan.match_op(self._comm.rank, "recv", tag, source)
         if fired:
             self._apply_common(fired)

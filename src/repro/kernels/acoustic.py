@@ -20,7 +20,7 @@ from .geometry import ElementGeometry
 __all__ = ["compute_forces_acoustic", "fluid_displacement"]
 
 
-def _potential_gradient(
+def _potential_gradient(  # repro: hot-loop
     chi: np.ndarray, geom: ElementGeometry, basis: GLLBasis
 ) -> np.ndarray:
     """grad(chi) at every GLL point, (nspec, n, n, n, 3)."""
@@ -32,7 +32,7 @@ def _potential_gradient(
     return np.einsum("eijkl,eijkld->eijkd", t, geom.inv_jacobian)
 
 
-def compute_forces_acoustic(
+def compute_forces_acoustic(  # repro: hot-loop
     chi: np.ndarray,
     geom: ElementGeometry,
     rho_inv: np.ndarray,
@@ -60,7 +60,7 @@ def compute_forces_acoustic(
     return -(t1 + t2 + t3)
 
 
-def fluid_displacement(
+def fluid_displacement(  # repro: hot-loop
     chi: np.ndarray,
     geom: ElementGeometry,
     rho_inv: np.ndarray,

@@ -97,7 +97,7 @@ def radial_frames(xyz: np.ndarray) -> np.ndarray:
     return np.stack([e1, e2, rhat], axis=-1)
 
 
-def stress_ti(
+def stress_ti(  # repro: hot-loop
     strain: np.ndarray, moduli: TIModuli, frames: np.ndarray
 ) -> np.ndarray:
     """TI Hooke's law: rotate to the radial frame, apply, rotate back.
@@ -120,7 +120,7 @@ def stress_ti(
     return np.einsum("...ia,...ab,...jb->...ij", frames, sig, frames)
 
 
-def compute_forces_elastic_ti(
+def compute_forces_elastic_ti(  # repro: hot-loop
     u: np.ndarray,
     geom: ElementGeometry,
     moduli: TIModuli,

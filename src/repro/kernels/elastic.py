@@ -42,7 +42,7 @@ __all__ = [
 KERNEL_VARIANTS = ("baseline", "vectorized", "blas")
 
 
-def compute_strain(
+def compute_strain(  # repro: hot-loop
     u: np.ndarray, geom: ElementGeometry, basis: GLLBasis
 ) -> np.ndarray:
     """Symmetric strain tensor at every GLL point: (nspec, n, n, n, 3, 3).
@@ -54,7 +54,7 @@ def compute_strain(
     return 0.5 * (grad + np.swapaxes(grad, -1, -2))
 
 
-def stress_from_strain(
+def stress_from_strain(  # repro: hot-loop
     strain: np.ndarray, lam: np.ndarray, mu: np.ndarray
 ) -> np.ndarray:
     """Isotropic Hooke's law: sigma = lambda tr(eps) I + 2 mu eps."""
@@ -65,7 +65,7 @@ def stress_from_strain(
     return sigma
 
 
-def compute_forces_elastic(
+def compute_forces_elastic(  # repro: hot-loop
     u: np.ndarray,
     geom: ElementGeometry,
     lam: np.ndarray,
@@ -108,7 +108,7 @@ def compute_forces_elastic(
 # --------------------------------------------------------------------------
 
 
-def _displacement_gradient_batched(
+def _displacement_gradient_batched(  # repro: hot-loop
     u: np.ndarray, geom: ElementGeometry, basis: GLLBasis
 ) -> np.ndarray:
     """du_c/dx_d at every point, (nspec, n, n, n, 3, 3) with [c, d]."""
@@ -121,7 +121,7 @@ def _displacement_gradient_batched(
     return np.einsum("eijklc,eijkld->eijkcd", t, geom.inv_jacobian)
 
 
-def _assemble_weak_divergence(
+def _assemble_weak_divergence(  # repro: hot-loop
     flux: np.ndarray, basis: GLLBasis
 ) -> np.ndarray:
     """Contract weighted fluxes back with hprime^T: the -B^T step.
@@ -140,7 +140,7 @@ def _assemble_weak_divergence(
     return -(t1 + t2 + t3)
 
 
-def _forces_vectorized(
+def _forces_vectorized(  # repro: hot-loop
     u: np.ndarray,
     geom: ElementGeometry,
     lam: np.ndarray,
@@ -164,7 +164,7 @@ def _forces_vectorized(
 # --------------------------------------------------------------------------
 
 
-def _forces_baseline(
+def _forces_baseline(  # repro: hot-loop
     u: np.ndarray,
     geom: ElementGeometry,
     lam: np.ndarray,
@@ -193,7 +193,7 @@ def _forces_baseline(
 # --------------------------------------------------------------------------
 
 
-def _forces_blas(
+def _forces_blas(  # repro: hot-loop
     u: np.ndarray,
     geom: ElementGeometry,
     lam: np.ndarray,
@@ -207,7 +207,9 @@ def _forces_blas(
     the non-contiguous directions."""
     h = np.ascontiguousarray(basis.hprime)
     nspec, n = u.shape[0], u.shape[1]
-    t = np.empty((nspec, n, n, n, 3, 3))
+    # Deliberately allocated per call: this variant reproduces the paper's
+    # slow tiny-GEMM strategy, copies and all — do not "optimise" it.
+    t = np.empty((nspec, n, n, n, 3, 3), dtype=np.float64)  # repro: disable=R3
     for e in range(nspec):
         for c in range(3):
             block = u[e, :, :, :, c]
@@ -235,7 +237,7 @@ def _forces_blas(
     out = np.empty_like(u)
     for e in range(nspec):
         for c in range(3):
-            acc = np.zeros((n, n, n))
+            acc = np.zeros((n, n, n))  # repro: disable=R3 - paper's slow variant
             f1 = flux[e, :, :, :, 0, c]
             f2 = flux[e, :, :, :, 1, c]
             f3 = flux[e, :, :, :, 2, c]

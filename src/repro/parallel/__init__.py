@@ -1,5 +1,11 @@
-"""Virtual MPI: communicators, halo assembly, distributed launcher."""
+"""Virtual MPI: communicators, halo assembly, distributed launcher.
 
+Message tags come from the :mod:`.tags` registry (checked by the static
+analyzer's rule R2); ``VirtualCluster(sanitize=True)`` wraps every rank
+in the :mod:`repro.analysis.sanitizer` protocol checker.
+"""
+
+from . import tags
 from .comm import (
     CommStats,
     RecvRequest,
@@ -13,6 +19,7 @@ from .halo import HaloExchanger, PendingExchange, RegionHalo, build_halos
 from .launcher import DistributedResult, run_distributed_simulation
 
 __all__ = [
+    "tags",
     "CommStats",
     "Request",
     "SendRequest",

@@ -34,6 +34,17 @@ communicator in a :class:`~repro.chaos.faults.ChaosComm`, so a seeded
 :class:`~repro.chaos.faults.FaultPlan` can drop, delay, duplicate, or
 bit-flip messages and crash or stall chosen ranks — without the rank
 programs (or the halo exchanger) changing at all.
+
+Communication sanitizing: ``VirtualCluster(sanitize=True)`` wraps every
+rank's communicator in a
+:class:`~repro.analysis.sanitizer.SanitizerComm` at the same seam, and
+after :meth:`VirtualCluster.run` the cluster's ``sanitizer_report``
+holds a :class:`~repro.analysis.sanitizer.SanitizerReport`: unmatched
+sends, never-completed requests, double-waits, tag collisions, and — on
+a receive timeout — the rank wait-for graph with any deadlock cycle.
+When both a fault plan and the sanitizer are active, the chaos wrapper
+sits *outside* the sanitizer, so the sanitizer observes the disturbed
+message stream actually on the wire.
 """
 
 from __future__ import annotations
@@ -42,10 +53,16 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from . import tags
 from .errors import RankTimeoutError
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from ..analysis.sanitizer import SanitizerReport
+    from ..chaos.faults import FaultPlan
 
 __all__ = [
     "CommStats",
@@ -132,7 +149,9 @@ class VirtualComm:
 
     # -- point to point -----------------------------------------------------
 
-    def send(self, dest: int, payload: np.ndarray, tag: int = 0) -> None:
+    def send(
+        self, dest: int, payload: np.ndarray, tag: int = tags.DEFAULT
+    ) -> None:
         """Eager (buffered) send: copies the payload into the mailbox."""
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
@@ -144,7 +163,7 @@ class VirtualComm:
         self.stats.bytes_sent += data.nbytes
 
     def recv(
-        self, source: int, tag: int = 0, timeout: float | None = None
+        self, source: int, tag: int = tags.DEFAULT, timeout: float | None = None
     ) -> np.ndarray:
         """Blocking receive matched on (source, tag).
 
@@ -154,13 +173,15 @@ class VirtualComm:
         """
         return self._complete_recv(source, tag, timeout)
 
-    def isend(self, dest: int, payload: np.ndarray, tag: int = 0) -> SendRequest:
+    def isend(
+        self, dest: int, payload: np.ndarray, tag: int = tags.DEFAULT
+    ) -> SendRequest:
         """Non-blocking send.  Virtual sends are eager, so the returned
         request is already complete; accounting matches :meth:`send`."""
         self.send(dest, payload, tag)
         return SendRequest()
 
-    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+    def irecv(self, source: int, tag: int = tags.DEFAULT) -> RecvRequest:
         """Post a non-blocking receive; complete it with ``wait()``.
 
         Nothing is matched (and nothing accounted) until the wait — the
@@ -171,7 +192,7 @@ class VirtualComm:
 
     def waitall(
         self, requests: list[Request], timeout: float | None = None
-    ) -> list:
+    ) -> list[np.ndarray | None]:
         """Complete every request, returning their results in order
         (payload arrays for receives, ``None`` for sends)."""
         return [req.wait(timeout) for req in requests]
@@ -194,7 +215,7 @@ class VirtualComm:
         return data
 
     def sendrecv(
-        self, dest: int, payload: np.ndarray, source: int, tag: int = 0
+        self, dest: int, payload: np.ndarray, source: int, tag: int = tags.DEFAULT
     ) -> np.ndarray:
         """Exchange with distinct peers without deadlock (send is eager)."""
         self.send(dest, payload, tag)
@@ -288,7 +309,8 @@ class VirtualCluster:
         self,
         size: int,
         recv_timeout_s: float | None = None,
-        fault_plan=None,
+        fault_plan: "FaultPlan | None" = None,
+        sanitize: bool = False,
     ):
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -302,6 +324,20 @@ class VirtualCluster:
         #: plan's faults.  Firing state lives on the plan, so a retried
         #: run with the same plan sees already-exhausted faults stay quiet.
         self.fault_plan = fault_plan
+        #: Shared :class:`~repro.analysis.sanitizer.CommSanitizer` when
+        #: ``sanitize=True``; every rank's comm is wrapped in a
+        #: ``SanitizerComm`` feeding it, and :meth:`run` finalizes it
+        #: into :attr:`sanitizer_report`.
+        self.sanitizer = None
+        if sanitize:
+            # Lazy import: the analysis package is an optional layer on
+            # top of the comm core, not a dependency of it.
+            from ..analysis.sanitizer import CommSanitizer
+
+            self.sanitizer = CommSanitizer(size)
+        #: :class:`~repro.analysis.sanitizer.SanitizerReport` of the most
+        #: recent :meth:`run` (``None`` unless ``sanitize=True``).
+        self.sanitizer_report: "SanitizerReport | None" = None
         self._recv_timeout_s = recv_timeout_s
         self._run_timeout_s = self.DEFAULT_TIMEOUT_S
         self._mailboxes = [queue.Queue() for _ in range(size)]
@@ -400,7 +436,11 @@ class VirtualCluster:
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self, program, timeout: float | None = None) -> list:
+    def run(
+        self,
+        program: Callable[["VirtualComm"], object],
+        timeout: float | None = None,
+    ) -> list:
         """Run ``program(comm)`` on every rank; returns per-rank results.
 
         Any rank raising propagates the first exception after all threads
@@ -417,15 +457,21 @@ class VirtualCluster:
         def runner(rank: int) -> None:
             comm = VirtualComm(self, rank)
             facade = comm
+            if self.sanitizer is not None:
+                from ..analysis.sanitizer import SanitizerComm
+
+                facade = SanitizerComm(comm, self.sanitizer)
             if self.fault_plan is not None:
                 # Imported lazily: the chaos package is an optional layer
                 # on top of the comm core, not a dependency of it.
                 from ..chaos.faults import ChaosComm
 
-                facade = ChaosComm(comm, self.fault_plan)
+                facade = ChaosComm(facade, self.fault_plan)
             try:
                 results[rank] = program(facade)
-            except BaseException as exc:  # noqa: BLE001 - propagated below
+            # Rank isolation: the first real failure is re-raised after all
+            # threads join, so nothing is swallowed here.
+            except BaseException as exc:  # repro: disable=R5
                 errors[rank] = exc
                 # Break the barriers so other ranks do not hang forever.
                 self._barrier.abort()
@@ -440,10 +486,16 @@ class VirtualCluster:
         ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join(timeout)
-            if t.is_alive():
-                raise TimeoutError("virtual cluster run timed out")
+        try:
+            for t in threads:
+                t.join(timeout)
+                if t.is_alive():
+                    raise TimeoutError("virtual cluster run timed out")
+        finally:
+            # Finalize even when a rank failed or the run timed out: the
+            # report of a disturbed run is exactly what a drill inspects.
+            if self.sanitizer is not None:
+                self.sanitizer_report = self.sanitizer.finalize()
         # Prefer the root-cause exception: barrier aborts on other ranks are
         # secondary effects of the first real failure.  The failing rank is
         # attached so callers (the launcher) can wrap it in a typed error.

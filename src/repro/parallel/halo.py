@@ -45,6 +45,13 @@ import numpy as np
 from ..mesh.element import RegionMesh, SliceMesh
 from ..mesh.interfaces import FACE_SLICES, external_faces
 from ..obs.tracer import maybe_tracer
+from .tags import (
+    ASSEMBLE_MERGED,
+    ASSEMBLE_REGION,
+    OVERLAP_MERGED,
+    OVERLAP_REGION,
+    region_tag,
+)
 
 __all__ = [
     "RegionHalo",
@@ -169,12 +176,16 @@ class PendingExchange:
     Returned by :meth:`HaloExchanger.post` / :meth:`HaloExchanger.post_many`
     and consumed exactly once by the matching ``wait``/``wait_many``.
     ``recv_requests`` maps neighbour rank -> the posted
-    :class:`~repro.parallel.comm.RecvRequest`.
+    :class:`~repro.parallel.comm.RecvRequest`; ``send_requests`` keeps the
+    posted :class:`~repro.parallel.comm.SendRequest` handles so the wait
+    completes *every* request of the round — the leaked-request invariant
+    rule R1 and the comm sanitizer both enforce.
     """
 
     regions: tuple[int, ...]
     tag: int
     recv_requests: dict[int, object] = field(default_factory=dict)
+    send_requests: list = field(default_factory=list)
     bytes_sent: int = 0
 
 
@@ -183,10 +194,11 @@ class HaloExchanger:
 
     ``assemble(region, array)`` sends this rank's contributions at the
     shared points of each neighbor and adds the received contributions,
-    returning the fully assembled array.  The tag space separates regions
-    so the exchanges of the fluid and solid regions cannot cross-match;
-    non-blocking rounds use a further tag offset so a posted exchange can
-    never collide with a blocking one (the setup-time mass assembly).
+    returning the fully assembled array.  Tags come from the
+    :mod:`repro.parallel.tags` registry: per-region channels separate the
+    fluid and solid exchanges, and the non-blocking rounds use distinct
+    bases so a posted exchange can never collide with a blocking one
+    (the setup-time mass assembly).
 
     With a tracer attached, every blocking exchange becomes a
     ``halo.exchange`` span whose counters record both directions of the
@@ -261,7 +273,7 @@ class HaloExchanger:
         halo = self.halos.get(region)
         if halo is None or not halo.neighbors:
             return array
-        tag = 1000 + region
+        tag = region_tag(ASSEMBLE_REGION, region)
         with self.tracer.span("halo.exchange", region=region) as span:
             # Capture local contributions before any addition.
             outgoing = {
@@ -297,7 +309,7 @@ class HaloExchanger:
         """
         regions = sorted(arrays)
         neighbors = self._merged_neighbors(regions)
-        tag = 2000
+        tag = ASSEMBLE_MERGED
         with self.tracer.span("halo.exchange", merged_regions=len(regions)) as span:
             sent = 0
             for nbr in neighbors:
@@ -323,7 +335,7 @@ class HaloExchanger:
         since interior elements touch no shared point.  Returns the
         pending round for :meth:`wait`.
         """
-        tag = 3000 + region
+        tag = region_tag(OVERLAP_REGION, region)
         pending = PendingExchange(regions=(region,), tag=tag)
         halo = self.halos.get(region)
         if halo is None or not halo.neighbors:
@@ -331,7 +343,9 @@ class HaloExchanger:
         with self.tracer.span("halo.post", region=region) as span:
             for nbr, ids in sorted(halo.neighbors.items()):
                 payload = array[ids]
-                self.comm.isend(nbr, payload, tag=tag)
+                pending.send_requests.append(
+                    self.comm.isend(nbr, payload, tag=tag)
+                )
                 pending.bytes_sent += payload.nbytes
             for nbr in sorted(halo.neighbors):
                 pending.recv_requests[nbr] = self.comm.irecv(nbr, tag=tag)
@@ -346,6 +360,8 @@ class HaloExchanger:
         """Complete a :meth:`post`: wait for every neighbour and add its
         contribution.  The add order (sorted neighbour rank) matches
         :meth:`assemble`, keeping the two paths bit-identical."""
+        for req in pending.send_requests:
+            req.wait()
         if not pending.recv_requests:
             return array
         (region,) = pending.regions
@@ -364,14 +380,16 @@ class HaloExchanger:
         neighbour carrying every given region's shared-point values."""
         regions = sorted(arrays)
         neighbors = self._merged_neighbors(regions)
-        tag = 4000
+        tag = OVERLAP_MERGED
         pending = PendingExchange(regions=tuple(regions), tag=tag)
         if not neighbors:
             return pending
         with self.tracer.span("halo.post", merged_regions=len(regions)) as span:
             for nbr in neighbors:
                 payload = self._pack(regions, arrays, nbr)
-                self.comm.isend(nbr, payload, tag=tag)
+                pending.send_requests.append(
+                    self.comm.isend(nbr, payload, tag=tag)
+                )
                 pending.bytes_sent += payload.nbytes
             for nbr in neighbors:
                 pending.recv_requests[nbr] = self.comm.irecv(nbr, tag=tag)
@@ -383,6 +401,8 @@ class HaloExchanger:
     ) -> dict[int, np.ndarray]:
         """Complete a :meth:`post_many`; add order (sorted neighbour, then
         region) matches :meth:`assemble_many` bit for bit."""
+        for req in pending.send_requests:
+            req.wait()
         if not pending.recv_requests:
             return arrays
         regions = list(pending.regions)

@@ -62,6 +62,10 @@ class DistributedResult:
     #: mesher/solver/halo spans of that virtual rank.
     tracers: list[Tracer] | None = None
     metrics: list[MetricsRegistry] | None = None
+    #: Comm-sanitizer report when the run was sanitized
+    #: (``sanitize=True``), else None.  Clean runs have
+    #: ``sanitizer_report.clean`` true.
+    sanitizer_report: "object | None" = None
 
     @property
     def total_comm_time_s(self) -> float:
@@ -114,6 +118,7 @@ def run_distributed_simulation(
     n_segments: int = 1,
     fault_plan=None,
     recv_timeout_s: float | None = None,
+    sanitize: bool = False,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
@@ -140,6 +145,12 @@ def run_distributed_simulation(
     program timeout.  When ``params.health_check_every`` is set, every
     rank's solver runs a :class:`~repro.chaos.sentinel.HealthSentinel`
     labelled with its own rank.
+
+    ``sanitize=True`` wraps every rank's communicator in a
+    :class:`~repro.analysis.sanitizer.SanitizerComm`; the finalized
+    :class:`~repro.analysis.sanitizer.SanitizerReport` (unmatched sends,
+    leaked requests, double-waits, tag collisions) is returned as
+    ``result.sanitizer_report``.
     """
     import time as _time
 
@@ -285,6 +296,7 @@ def run_distributed_simulation(
         grid.nproc_total,
         recv_timeout_s=recv_timeout_s,
         fault_plan=fault_plan,
+        sanitize=sanitize,
     )
     try:
         results = cluster.run(program, timeout=timeout_s)
@@ -330,4 +342,5 @@ def run_distributed_simulation(
         rank_elements=elements,
         tracers=tracers,
         metrics=metrics,
+        sanitizer_report=cluster.sanitizer_report,
     )

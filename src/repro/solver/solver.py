@@ -413,6 +413,19 @@ class GlobalSolver:
                     "boundary": _RegionSubset(self, code, boundary),
                     "interior": _RegionSubset(self, code, interior),
                 }
+        # Per-region scratch for the overlap path's full-order re-scatter:
+        # allocated once here so no time step allocates (rule R3).  Every
+        # element row is overwritten (boundary ∪ interior covers all
+        # elements), so stale contents can never leak into a step.
+        self._scratch_local: dict[int, np.ndarray] = {}
+        if self._overlap:
+            for code, st in self.regions.items():
+                shape = (
+                    st.ibool.shape + (3,)
+                    if code in self.solid_codes
+                    else st.ibool.shape
+                )
+                self._scratch_local[code] = np.empty(shape, dtype=np.float64)
 
     # ------------------------------------------------------------------ setup
 
@@ -537,7 +550,7 @@ class GlobalSolver:
         """
         for code in self.solid_codes:
             st = self.regions[code]
-            coords = np.empty((st.nglob, 3))
+            coords = np.empty((st.nglob, 3), dtype=np.float64)
             coords[st.ibool.ravel()] = st.mesh.xyz.reshape(-1, 3)
             field = self.solid[code]
             field.displ[:] = displacement_fn(coords)
@@ -664,14 +677,14 @@ class GlobalSolver:
             else "coupling.icb"
         )
 
-    def _apply_fluid_coupling(self, force: np.ndarray) -> None:
+    def _apply_fluid_coupling(self, force: np.ndarray) -> None:  # repro: hot-loop
         """Add the solid-displacement traction onto a fluid force array."""
         tr = self.tracer
         for solid_code, op in self.couplings:
             with tr.span(self._coupling_span_name(solid_code)):
                 op.add_fluid_coupling(force, self.solid[solid_code].displ)
 
-    def _apply_solid_coupling(self, code: int, force: np.ndarray) -> None:
+    def _apply_solid_coupling(self, code: int, force: np.ndarray) -> None:  # repro: hot-loop
         """Add the fluid-pressure traction onto one solid force array."""
         tr = self.tracer
         for solid_code, op in self.couplings:
@@ -679,7 +692,7 @@ class GlobalSolver:
                 with tr.span(self._coupling_span_name(solid_code)):
                     op.add_solid_coupling(force, self.fluid.chi_ddot)
 
-    def _apply_sources(self, code: int, force: np.ndarray, t: float) -> None:
+    def _apply_sources(self, code: int, force: np.ndarray, t: float) -> None:  # repro: hot-loop
         """Inject the source terms of one region onto a global force array."""
         st = self.regions[code]
         for region, element, arr, source in self.source_terms:
@@ -691,7 +704,7 @@ class GlobalSolver:
                     (amp * arr).reshape(-1, 3),
                 )
 
-    def _solid_local_force(self, code: int, view) -> np.ndarray:
+    def _solid_local_force(self, code: int, view) -> np.ndarray:  # repro: hot-loop
         """Local (unassembled) force of one solid region or element subset.
 
         ``view`` is a :class:`_RegionState` (full region, blocking path) or
@@ -756,7 +769,7 @@ class GlobalSolver:
             )
         return force_local
 
-    def _forces_blocking(self, t: float) -> dict[int, np.ndarray]:
+    def _forces_blocking(self, t: float) -> dict[int, np.ndarray]:  # repro: hot-loop
         """Reference schedule: compute everything, then exchange (blocking)."""
         dt = self.dt
         tr = self.tracer
@@ -798,7 +811,7 @@ class GlobalSolver:
                 solid_forces[code] = self.assembler(code, solid_forces[code])
         return solid_forces
 
-    def _forces_overlap(self, t: float) -> dict[int, np.ndarray]:
+    def _forces_overlap(self, t: float) -> dict[int, np.ndarray]:  # repro: hot-loop
         """Overlapped schedule: boundary elements, post, interior, wait.
 
         Bit-identity with :meth:`_forces_blocking` rests on two facts:
@@ -846,7 +859,7 @@ class GlobalSolver:
                 )
                 # Full-order re-scatter: one bincount over the original
                 # ibool keeps the summation order of the blocking path.
-                force_local = np.empty(fl.ibool.shape)
+                force_local = self._scratch_local[code]
                 force_local[bnd.idx] = force_b_local
                 force_local[inner.idx] = force_i_local
                 force = scatter_add(force_local, fl.ibool, fl.nglob)
@@ -874,7 +887,7 @@ class GlobalSolver:
             bnd = self._subsets[code]["boundary"]
             inner = self._subsets[code]["interior"]
             force_i_local = self._solid_local_force(code, inner)
-            force_local = np.empty(st.ibool.shape + (3,))
+            force_local = self._scratch_local[code]
             force_local[bnd.idx] = boundary_locals[code]
             force_local[inner.idx] = force_i_local
             force = scatter_add(force_local, st.ibool, st.nglob)
@@ -884,7 +897,7 @@ class GlobalSolver:
         ex.wait_many(pending_solid, solid_forces)
         return solid_forces
 
-    def _one_step(self, t: float) -> None:
+    def _one_step(self, t: float) -> None:  # repro: hot-loop
         dt = self.dt
         tr = self.tracer
         # Predictor on every field.

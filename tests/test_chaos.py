@@ -50,7 +50,9 @@ from repro.chaos.integrity import (
 from repro.config import constants
 from repro.config.parameters import ConfigError, SimulationParameters
 from repro.obs.metrics import MetricsRegistry
+from repro.model.prem import RegionCode
 from repro.parallel import VirtualCluster
+from repro.parallel.tags import ASSEMBLE_REGION, region_tag
 from repro.parallel.errors import RankFailedError, RankTimeoutError
 from repro.solver import (
     CheckpointError,
@@ -112,7 +114,13 @@ class TestFaultPlan:
     def test_json_round_trip(self):
         plan = FaultPlan(
             [
-                FaultSpec(kind="drop", rank=2, op="send", tag=1000, peer=3),
+                FaultSpec(
+                    kind="drop",
+                    rank=2,
+                    op="send",
+                    tag=region_tag(ASSEMBLE_REGION, RegionCode.CRUST_MANTLE),
+                    peer=3,
+                ),
                 FaultSpec(kind="poison", rank=0, step=5, region=0),
             ],
             seed=42,

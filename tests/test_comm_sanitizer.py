@@ -1,0 +1,207 @@
+"""Comm-sanitizer tests: clean runs stay clean, violations are caught."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CommSanitizerError, SanitizerReport
+from repro.config.parameters import SimulationParameters
+from repro.parallel import VirtualCluster, run_distributed_simulation
+from repro.parallel.errors import RankTimeoutError
+from repro.solver import MomentTensorSource, Station, gaussian_stf
+
+
+def small_params(**overrides):
+    defaults = dict(
+        nex_xi=4,
+        nproc_xi=1,
+        ner_crust_mantle=2,
+        ner_outer_core=1,
+        ner_inner_core=1,
+        nstep_override=5,
+    )
+    defaults.update(overrides)
+    return SimulationParameters(**defaults)
+
+
+def source_and_station():
+    src = MomentTensorSource(
+        position=(0.0, 0.0, 6000.0), moment=np.eye(3), stf=gaussian_stf(30.0)
+    )
+    return [src], [Station("S1", (0.0, 0.0, 6371.0))]
+
+
+# ----------------------------------------------------------- clean runs
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_distributed_run_is_sanitizer_clean(self, overlap):
+        sources, stations = source_and_station()
+        result = run_distributed_simulation(
+            small_params(),
+            sources=sources,
+            stations=stations,
+            overlap=overlap,
+            sanitize=True,
+        )
+        report = result.sanitizer_report
+        assert isinstance(report, SanitizerReport)
+        assert report.clean, "\n".join(str(f) for f in report.findings)
+
+    def test_sanitized_run_matches_unsanitized(self):
+        sources, stations = source_and_station()
+        plain = run_distributed_simulation(
+            small_params(), sources=sources, stations=stations
+        )
+        sanitized = run_distributed_simulation(
+            small_params(), sources=sources, stations=stations, sanitize=True
+        )
+        np.testing.assert_array_equal(
+            plain.seismograms, sanitized.seismograms
+        )
+
+    def test_unsanitized_run_has_no_report(self):
+        sources, stations = source_and_station()
+        result = run_distributed_simulation(
+            small_params(), sources=sources, stations=stations
+        )
+        assert result.sanitizer_report is None
+
+    def test_clean_roundtrip_program(self):
+        def program(comm):
+            peer = 1 - comm.rank
+            req = comm.irecv(peer, tag=3)
+            comm.send(peer, np.full(4, comm.rank, dtype=np.float64), tag=3)
+            return float(req.wait()[0])
+
+        cluster = VirtualCluster(2, sanitize=True)
+        results = cluster.run(program)
+        assert results == [1.0, 0.0]
+        assert cluster.sanitizer_report.clean
+
+
+# ------------------------------------------------------------ violations
+
+
+class TestViolations:
+    def test_leaked_isend_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, np.ones(4), tag=99)  # never waited
+
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(program)
+        report = cluster.sanitizer_report
+        assert {"leaked-request", "unmatched-send"} <= report.kinds()
+        with pytest.raises(CommSanitizerError, match="leaked-request"):
+            report.raise_if_findings()
+
+    def test_leaked_irecv_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, np.ones(2), tag=4)
+            else:
+                comm.irecv(0, tag=4)  # request dropped on the floor
+                comm.recv(0, tag=4)
+
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(program)
+        assert "leaked-request" in cluster.sanitizer_report.kinds()
+
+    def test_tag_collision_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, np.ones(2), tag=5)
+                comm.send(1, np.ones(2), tag=5)
+            else:
+                first = comm.irecv(0, tag=5)
+                second = comm.irecv(0, tag=5)  # ambiguous with `first`
+                comm.waitall([first, second])
+
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(program)
+        assert "tag-collision" in cluster.sanitizer_report.kinds()
+
+    def test_sequential_same_tag_rounds_are_legal(self):
+        # Wait-then-repost with the same tag is the normal halo pattern
+        # and must NOT be reported.
+        def program(comm):
+            peer = 1 - comm.rank
+            for _ in range(3):
+                req = comm.irecv(peer, tag=5)
+                comm.isend(peer, np.ones(2), tag=5).wait()
+                req.wait()
+
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(program)
+        assert cluster.sanitizer_report.clean
+
+    def test_double_wait_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, np.ones(2), tag=9)
+            else:
+                req = comm.irecv(0, tag=9)
+                req.wait()
+                req.wait()  # second completion of the same request
+
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(program)
+        assert "double-wait" in cluster.sanitizer_report.kinds()
+
+    def test_deadlock_cycle_reported_on_timeout(self):
+        def program(comm):
+            peer = 1 - comm.rank
+            comm.recv(peer, tag=3)  # both ranks wait; nobody sends
+
+        cluster = VirtualCluster(2, recv_timeout_s=0.4, sanitize=True)
+        with pytest.raises(RankTimeoutError):
+            cluster.run(program)
+        report = cluster.sanitizer_report
+        assert report is not None and "deadlock" in report.kinds()
+        cycle = next(f for f in report.findings if f.kind == "deadlock")
+        assert "wait-for cycle" in cycle.detail
+
+    def test_seeded_drill_through_distributed_run(self):
+        # The acceptance drill: a fault plan drops one halo message, and
+        # the sanitizer names the missing traffic even though the run
+        # itself dies with a timeout.
+        from repro.chaos import FaultPlan, FaultSpec
+
+        sources, stations = source_and_station()
+        plan = FaultPlan([FaultSpec(kind="drop", rank=0, op="send")])
+        with pytest.raises(Exception):
+            run_distributed_simulation(
+                small_params(),
+                sources=sources,
+                stations=stations,
+                fault_plan=plan,
+                sanitize=True,
+                recv_timeout_s=1.0,
+                timeout_s=60.0,
+            )
+        assert plan.total_fired >= 1
+
+
+# ------------------------------------------------------------- reporting
+
+
+class TestReport:
+    def test_report_json_round_trip(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.isend(1, np.ones(2), tag=7)
+
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(program)
+        payload = cluster.sanitizer_report.to_dict()
+        assert payload["clean"] is False
+        kinds = {f["kind"] for f in payload["findings"]}
+        assert "unmatched-send" in kinds
+
+    def test_finalize_is_idempotent(self):
+        cluster = VirtualCluster(2, sanitize=True)
+        cluster.run(lambda comm: None)
+        first = cluster.sanitizer.finalize()
+        second = cluster.sanitizer.finalize()
+        assert first is second and first.clean
