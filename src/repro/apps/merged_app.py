@@ -91,6 +91,7 @@ def run_global_simulation(
     mesh: GlobalMesh | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    stream=None,
 ) -> GlobalSimulationResult:
     """Mesh and solve in one process with in-memory handoff.
 
@@ -105,6 +106,9 @@ def run_global_simulation(
     campaign layer's content-addressed cache uses this to amortise one
     expensive mesh across many events.  The mesh must have been built from
     mesh-equivalent parameters; a mismatch is rejected.
+
+    ``stream`` (a :class:`~repro.obs.stream.StreamingTelemetry`) samples
+    the solver loop per step; the caller owns and closes it.
     """
     if tracer is None and trace:
         tracer = Tracer(pid=0)
@@ -133,6 +137,7 @@ def run_global_simulation(
         stations=stations,
         tracer=tracer,
         metrics=metrics,
+        stream=stream,
     )
     result = solver.run(n_steps=n_steps, track_energy=track_energy)
     solver_s = time.perf_counter() - t1

@@ -258,8 +258,11 @@ class MeshCache:
             return None
         return self.spill_dir / f"mesh-{key}.npz"
 
-    def _evict_overflow(self) -> None:
+    def _evict_overflow(self, tracer=None) -> None:
         # Called with the lock held.  Never evict an in-flight build.
+        from ..obs.tracer import maybe_tracer
+
+        tr = maybe_tracer(tracer)
         while len(self._entries) > self.max_entries:
             victim = None
             for key, entry in self._entries.items():
@@ -273,17 +276,31 @@ class MeshCache:
             self._count("evictions")
             spill = self._spill_path(victim)
             if spill is not None and entry.mesh is not None and not spill.exists():
-                save_mesh_npz(entry.mesh, spill)
+                with tr.span("cache.spill"):
+                    save_mesh_npz(entry.mesh, spill)
 
     # -- API ----------------------------------------------------------------
 
-    def get(self, params: SimulationParameters) -> tuple[GlobalMesh, bool]:
+    def get(
+        self, params: SimulationParameters, tracer=None
+    ) -> tuple[GlobalMesh, bool]:
         """Return ``(mesh, was_hit)`` for the parameter set's mesh key.
 
         Misses build (or reload from the spill directory) under a
         single-flight guarantee; concurrent callers of the same key block
         on the one build and count as hits.
+
+        ``tracer`` records what this call actually did — ``cache.build``
+        around a fresh mesh build, ``cache.load`` around a disk-spill
+        reload — and must be the *caller's own* tracer (each worker
+        passes its per-worker instance); the cache holds no tracer of its
+        own because `get` runs concurrently from many threads.  Eviction
+        spills are recorded as ``cache.spill`` on whichever caller's
+        tracer triggered the eviction.
         """
+        from ..obs.tracer import maybe_tracer
+
+        tr = maybe_tracer(tracer)
         key = mesh_cache_key(params)
         with self._lock:
             # Counters update under the cache lock so concurrent workers
@@ -310,7 +327,8 @@ class MeshCache:
             spill = self._spill_path(key)
             if spill is not None and spill.exists():
                 try:
-                    entry.mesh = load_mesh_npz(spill)
+                    with tr.span("cache.load", key=1):
+                        entry.mesh = load_mesh_npz(spill)
                     with self._lock:
                         self.disk_hits += 1
                         self._count("disk_hits")
@@ -322,9 +340,11 @@ class MeshCache:
                     with self._lock:
                         self.corruptions += 1
                         self._count("corruptions")
-                    entry.mesh = self.builder(params)
+                    with tr.span("cache.build"):
+                        entry.mesh = self.builder(params)
             else:
-                entry.mesh = self.builder(params)
+                with tr.span("cache.build"):
+                    entry.mesh = self.builder(params)
         except BaseException as exc:
             entry.error = exc
             with self._lock:
@@ -333,7 +353,7 @@ class MeshCache:
             raise
         entry.ready.set()
         with self._lock:
-            self._evict_overflow()
+            self._evict_overflow(tracer=tr)
         return entry.mesh, False
 
     def __contains__(self, params: SimulationParameters) -> bool:

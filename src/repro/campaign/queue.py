@@ -45,6 +45,12 @@ class JobSpec:
     ``inject_failures = k`` makes the first ``k`` attempts raise
     :class:`~repro.campaign.errors.InjectedFailure` — the standing fault
     drill that keeps the retry path honest.
+
+    ``stream_path`` turns on per-step streaming telemetry for the job:
+    the worker samples the solver loop into a
+    :class:`~repro.obs.stream.StreamingTelemetry` ring buffer flushed to
+    that JSONL path (the path lands in the job's provenance record, so
+    the campaign aggregator can find it).
     """
 
     name: str
@@ -56,6 +62,7 @@ class JobSpec:
     timeout_s: float | None = None
     max_attempts: int | None = None  # None = the pool policy's default
     inject_failures: int = 0
+    stream_path: str | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -97,6 +97,7 @@ def run_segmented_simulation(
     tracer=None,
     metrics=None,
     on_checkpoint=None,
+    stream=None,
 ) -> SegmentedResult:
     """Run one simulation as ``n_segments`` checkpointed segments.
 
@@ -121,6 +122,14 @@ def run_segmented_simulation(
 
     ``checkpoint_dir`` defaults to a temp directory removed afterwards
     unless ``keep_checkpoints`` is set.
+
+    ``stream`` (a :class:`~repro.obs.stream.StreamingTelemetry`) is
+    shared across the whole chain: every segment's fresh solver samples
+    into the same ring buffer, so the stream is one continuous per-step
+    log of the run.  Steps re-executed after a corrupt-checkpoint
+    fallback appear twice — by design, the stream is an honest record of
+    what actually executed; readers collapse duplicates with
+    :func:`~repro.obs.stream.dedupe_steps`.  The caller closes it.
     """
     tr = maybe_tracer(tracer)
     if mesh is None:
@@ -136,7 +145,9 @@ def run_segmented_simulation(
     try:
         # Total step count comes from a throwaway probe of the parameters
         # when not given explicitly (solvers are rebuilt per segment).
-        solver = _fresh_solver(mesh, params, sources, stations, tr, metrics)
+        solver = _fresh_solver(
+            mesh, params, sources, stations, tr, metrics, stream
+        )
         total = int(n_steps) if n_steps is not None else solver.n_steps
         bounds = segment_boundaries(total, n_segments)
         result: SolverResult | None = None
@@ -149,13 +160,15 @@ def run_segmented_simulation(
                 resume = start
                 if index > 0:
                     solver = _fresh_solver(
-                        mesh, params, sources, stations, tr, metrics
+                        mesh, params, sources, stations, tr, metrics, stream
                     )
                     resume = 0
                     while checkpoints:
                         step_at, path = checkpoints[-1]
                         try:
-                            resumed = load_checkpoint(solver, path)
+                            resumed = load_checkpoint(
+                                solver, path, tracer=tr, metrics=metrics
+                            )
                         except CheckpointError as exc:
                             # Corrupt/unreadable: quarantine it from the
                             # chain and fall back to the next-older one
@@ -176,7 +189,8 @@ def run_segmented_simulation(
                             # A failed restore may have partially written
                             # solver state; rebuild before the next try.
                             solver = _fresh_solver(
-                                mesh, params, sources, stations, tr, metrics
+                                mesh, params, sources, stations, tr, metrics,
+                                stream,
                             )
                             continue
                         if resumed != step_at:
@@ -186,14 +200,22 @@ def run_segmented_simulation(
                             )
                         resume = resumed
                         break
+                # ``metrics_from_step=start`` is the double-count guard:
+                # after a corrupt-checkpoint fallback ``resume`` can lie
+                # *before* this segment's planned boundary, and the span
+                # [resume, start) re-executes steps whose metrics earlier
+                # segments already emitted.  Gating emission at the planned
+                # boundary keeps counters (``solver.steps``,
+                # ``health.checks``, ...) equal to an unsegmented run's.
                 result = solver.run(
-                    n_steps=total, start_step=resume, stop_step=stop
+                    n_steps=total, start_step=resume, stop_step=stop,
+                    metrics_from_step=start,
                 )
                 ckpt: Path | None = None
                 if index < len(bounds) - 1:
                     ckpt = save_checkpoint(
                         solver, directory / f"segment_{index:03d}.npz",
-                        step=stop,
+                        step=stop, tracer=tr, metrics=metrics,
                     )
                     checkpoints.append((stop, ckpt))
                     if on_checkpoint is not None:
@@ -214,7 +236,8 @@ def run_segmented_simulation(
             shutil.rmtree(directory, ignore_errors=True)
 
 
-def _fresh_solver(mesh, params, sources, stations, tracer, metrics):
+def _fresh_solver(mesh, params, sources, stations, tracer, metrics,
+                  stream=None):
     return GlobalSolver(
         mesh,
         params,
@@ -222,4 +245,5 @@ def _fresh_solver(mesh, params, sources, stations, tracer, metrics):
         stations=stations,
         tracer=tracer if getattr(tracer, "enabled", False) else None,
         metrics=metrics,
+        stream=stream,
     )

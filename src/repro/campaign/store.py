@@ -36,6 +36,7 @@ class JobRecord:
     mesher_wall_s: float = 0.0
     solver_wall_s: float = 0.0
     trace_path: str | None = None
+    stream_path: str | None = None
     error: str | None = None
     #: "transient" | "fatal" | "permanent" for failures, None otherwise.
     failure_class: str | None = None

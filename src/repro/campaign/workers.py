@@ -77,6 +77,7 @@ class JobResult:
             mesher_wall_s=self.mesher_wall_s,
             solver_wall_s=self.solver_wall_s,
             trace_path=self.payload.get("trace_path"),
+            stream_path=self.payload.get("stream_path"),
             error=self.error,
             failure_class=self.failure_class,
             health_snapshot=self.health_snapshot,
@@ -85,45 +86,67 @@ class JobResult:
 
 
 def _default_runner(job: JobSpec, mesh, tracer, metrics) -> dict[str, Any]:
-    """Execute one job body: merged run, or the segmented executor."""
-    if job.n_segments > 1:
-        from .segments import run_segmented_simulation
+    """Execute one job body: merged run, or the segmented executor.
 
-        seg = run_segmented_simulation(
+    A ``job.stream_path`` turns on per-step streaming telemetry for the
+    job's solver loop; the stream is flushed and closed even when the
+    body raises (crash tolerance is the point of the stream), and the
+    path is returned in the payload so it lands in the job record.
+    """
+    stream = None
+    if job.stream_path is not None:
+        from ..obs.stream import StreamingTelemetry
+
+        stream = StreamingTelemetry(
+            job.stream_path,
+            meta={"job": job.name, "segments": job.n_segments},
+        )
+    try:
+        if job.n_segments > 1:
+            from .segments import run_segmented_simulation
+
+            seg = run_segmented_simulation(
+                job.params,
+                sources=job.sources,
+                stations=job.stations,
+                n_steps=job.n_steps,
+                n_segments=job.n_segments,
+                mesh=mesh,
+                tracer=tracer,
+                metrics=metrics,
+                stream=stream,
+            )
+            return {
+                "seismograms": seg.seismograms,
+                "dt": seg.solver_result.dt,
+                "segment_count": seg.n_segments,
+                "mesher_wall_s": 0.0,
+                "solver_wall_s": seg.total_wall_s,
+                "stream_path": job.stream_path,
+            }
+        from ..apps.merged_app import run_global_simulation
+
+        sim = run_global_simulation(
             job.params,
             sources=job.sources,
             stations=job.stations,
             n_steps=job.n_steps,
-            n_segments=job.n_segments,
             mesh=mesh,
             tracer=tracer,
             metrics=metrics,
+            stream=stream,
         )
         return {
-            "seismograms": seg.seismograms,
-            "dt": seg.solver_result.dt,
-            "segment_count": seg.n_segments,
-            "mesher_wall_s": 0.0,
-            "solver_wall_s": seg.total_wall_s,
+            "seismograms": sim.seismograms,
+            "dt": sim.dt,
+            "segment_count": 1,
+            "mesher_wall_s": sim.mesher_wall_s,
+            "solver_wall_s": sim.solver_wall_s,
+            "stream_path": job.stream_path,
         }
-    from ..apps.merged_app import run_global_simulation
-
-    sim = run_global_simulation(
-        job.params,
-        sources=job.sources,
-        stations=job.stations,
-        n_steps=job.n_steps,
-        mesh=mesh,
-        tracer=tracer,
-        metrics=metrics,
-    )
-    return {
-        "seismograms": sim.seismograms,
-        "dt": sim.dt,
-        "segment_count": 1,
-        "mesher_wall_s": sim.mesher_wall_s,
-        "solver_wall_s": sim.solver_wall_s,
-    }
+    finally:
+        if stream is not None:
+            stream.close()
 
 
 def _call_with_timeout(fn: Callable[[], Any], timeout_s: float | None, label: str):
@@ -221,7 +244,7 @@ class WorkerPool:
             )
 
         def body() -> dict[str, Any]:
-            mesh, hit = self.mesh_cache.get(job.params)
+            mesh, hit = self.mesh_cache.get(job.params, tracer=tracer)
             payload = self.runner(job, mesh, tracer, self.metrics)
             payload.setdefault("cache_hit", hit)
             return payload

@@ -115,6 +115,11 @@ class HealthSentinel:
         self.checks = 0
         self._energy_baseline = 0.0
         self._baseline_seen = 0
+        #: Latest values observed by :meth:`check` (NaN before the first
+        #: check) — the streaming telemetry samples these per step, so
+        #: health signals reach the live channel without re-scanning.
+        self.last_peak_m = math.nan
+        self.last_energy_j = math.nan
 
     def due(self, step: int) -> bool:
         """Check after ``step`` completes? (0-based; every Nth step.)"""
@@ -164,6 +169,7 @@ class HealthSentinel:
                                        f"{label}/{_region_name(code)}", 0.0),
                     )
                 worst = max(worst, peak)
+        self.last_peak_m = worst
         if solver.fluid is not None:
             peak = float(np.max(np.abs(solver.fluid.chi)))
             if not math.isfinite(peak):
@@ -181,6 +187,7 @@ class HealthSentinel:
                                f"{worst:.3e} m", 0.0),
             )
         energy = solver._total_kinetic_energy()
+        self.last_energy_j = energy
         if not math.isfinite(energy):
             raise NumericalHealthError(
                 f"step {step}: non-finite kinetic energy (rank {self.rank})",

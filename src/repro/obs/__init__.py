@@ -23,9 +23,22 @@ Usage::
     write_chrome_trace("trace.json", [tracer])
 
 ``python -m repro.obs.report trace.jsonl`` renders a saved trace as a
-phase tree, top-N span table, and per-rank comm/compute summary.
+phase tree, top-N span table, and per-rank comm/compute summary;
+``--campaign STORE_DIR`` renders the campaign-wide aggregate instead.
+
+The observatory adds two more channels on top of the span tracer:
+:mod:`repro.obs.stream` (per-step streaming telemetry from inside the
+solver loop — a preallocated ring buffer flushed as JSONL) and
+:mod:`repro.obs.bench` (a regression-guarded benchmark registry writing
+canonical ``BENCH_<name>.json`` records; see ``python -m repro.obs.bench``).
 """
 
+from .aggregate import (
+    CampaignAggregate,
+    aggregate_campaign,
+    record_campaign_summary,
+    render_campaign_report,
+)
 from .export import (
     chrome_trace_events,
     read_jsonl,
@@ -42,9 +55,21 @@ from .report import (
     render_summary,
     summarize,
 )
+from .stream import (
+    StreamingTelemetry,
+    dedupe_steps,
+    read_stream,
+)
 from .tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer, maybe_tracer
 
 __all__ = [
+    "CampaignAggregate",
+    "StreamingTelemetry",
+    "aggregate_campaign",
+    "dedupe_steps",
+    "read_stream",
+    "record_campaign_summary",
+    "render_campaign_report",
     "Counter",
     "Gauge",
     "Histogram",

@@ -40,8 +40,31 @@ def merge_records(tracers: Iterable[Tracer]) -> list[SpanRecord]:
 
 
 def chrome_trace_events(records: Iterable[SpanRecord]) -> list[dict]:
-    """Trace Event Format complete events (timestamps in microseconds)."""
-    events = []
+    """Trace Event Format complete events (timestamps in microseconds).
+
+    Every (pid, tid) pair seen in the records also gets ``"ph": "M"``
+    ``process_name``/``thread_name``/``process_sort_index`` metadata
+    events, so Perfetto labels each row ("rank 3" / "worker 1") instead
+    of showing bare integers, and ranks sort numerically.
+    """
+    records = list(records)
+    events: list[dict] = []
+    pids = sorted({r.pid for r in records})
+    tids = sorted({(r.pid, r.tid) for r in records})
+    for pid in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"rank {pid}"},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"sort_index": pid},
+        })
+    for pid, tid in tids:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"worker {tid}" if tid else "main"},
+        })
     for r in records:
         event = {
             "name": r.name,
@@ -73,7 +96,12 @@ def write_chrome_trace(
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload))
+    # ensure_ascii=False + explicit UTF-8: span names are arbitrary
+    # strings (station codes, file names), and the platform-default
+    # encoding of write_text can refuse non-ASCII outright.
+    path.write_text(
+        json.dumps(payload, ensure_ascii=False), encoding="utf-8"
+    )
     return path
 
 
@@ -91,16 +119,20 @@ def write_jsonl(
         records = list(records)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as f:
+    with path.open("w", encoding="utf-8") as f:
         header = {"type": "meta", "version": FORMAT_VERSION}
         if meta:
             header.update(meta)
-        f.write(json.dumps(header) + "\n")
+        f.write(json.dumps(header, ensure_ascii=False) + "\n")
         for r in records:
-            f.write(json.dumps({"type": "span", **r.to_dict()}) + "\n")
+            f.write(
+                json.dumps({"type": "span", **r.to_dict()},
+                           ensure_ascii=False) + "\n"
+            )
         if metrics is not None:
             f.write(
-                json.dumps({"type": "metrics", **metrics.snapshot()}) + "\n"
+                json.dumps({"type": "metrics", **metrics.snapshot()},
+                           ensure_ascii=False) + "\n"
             )
     return path
 
@@ -112,7 +144,7 @@ def read_jsonl(
     records: list[SpanRecord] = []
     metrics: dict | None = None
     meta: dict = {}
-    with Path(path).open() as f:
+    with Path(path).open(encoding="utf-8") as f:
         for line in f:
             line = line.strip()
             if not line:

@@ -9,6 +9,13 @@ counts per rank, aggregate comm fraction.
 Command line::
 
     python -m repro.obs.report trace.jsonl [--top N]
+    python -m repro.obs.report --campaign STORE_DIR [--record] [--top N]
+
+The ``--campaign`` form renders the campaign-wide aggregate of a
+:class:`~repro.campaign.store.ResultStore` (job latency percentiles,
+cache hit rate, per-phase rollups, stream statistics — see
+:mod:`repro.obs.aggregate`); ``--record`` additionally appends the
+aggregate to the store's ``manifest.jsonl``.
 """
 
 from __future__ import annotations
@@ -275,6 +282,28 @@ def main(argv: list[str] | None = None) -> int:
         i = argv.index("--top")
         top_n = int(argv[i + 1])
         del argv[i : i + 2]
+    if "--campaign" in argv:
+        from .aggregate import (
+            aggregate_campaign,
+            record_campaign_summary,
+            render_campaign_report,
+        )
+
+        i = argv.index("--campaign")
+        store_dir = argv[i + 1] if i + 1 < len(argv) else None
+        del argv[i : i + 2]
+        record = "--record" in argv
+        if record:
+            argv.remove("--record")
+        if store_dir is None or argv:
+            print("usage: python -m repro.obs.report --campaign STORE_DIR "
+                  "[--record] [--top N]")
+            return 2
+        agg = aggregate_campaign(store_dir)
+        print(render_campaign_report(agg, top_n=top_n))
+        if record:
+            record_campaign_summary(store_dir, agg)
+        return 0
     if len(argv) != 1:
         print("usage: python -m repro.obs.report TRACE.jsonl [--top N]")
         return 2

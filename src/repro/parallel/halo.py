@@ -38,6 +38,7 @@ to a blocking one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -214,6 +215,10 @@ class HaloExchanger:
         self.comm = comm
         self.halos = halos_for_rank
         self.tracer = maybe_tracer(tracer)
+        #: Cumulative seconds blocked on halo receives (the *visible*
+        #: communication time), kept even without a tracer so streaming
+        #: telemetry can difference it per step at near-zero cost.
+        self.wait_s = 0.0
 
     # -- shared pack/unpack helpers ----------------------------------------
 
@@ -285,12 +290,14 @@ class HaloExchanger:
                 self.comm.send(nbr, payload, tag=tag)
                 sent += payload.nbytes
             received_bytes = 0
+            t_wait = time.perf_counter()
             for nbr, ids in sorted(halo.neighbors.items()):
                 received = self.comm.recv(nbr, tag=tag)
                 received_bytes += received.nbytes
                 # ids are unique within one neighbor list (deduplicated at
                 # construction), so plain fancy-index addition is exact.
                 array[ids] += received
+            self.wait_s += time.perf_counter() - t_wait
             span.add(
                 messages=2 * len(outgoing),
                 bytes=sent + received_bytes,
@@ -317,10 +324,12 @@ class HaloExchanger:
                 self.comm.send(nbr, payload, tag=tag)
                 sent += payload.nbytes
             received_bytes = 0
+            t_wait = time.perf_counter()
             for nbr in neighbors:
                 received = self.comm.recv(nbr, tag=tag)
                 received_bytes += received.nbytes
                 self._unpack_add(regions, arrays, nbr, received)
+            self.wait_s += time.perf_counter() - t_wait
             span.add(messages=2 * len(neighbors), bytes=sent + received_bytes)
         return arrays
 
@@ -360,9 +369,11 @@ class HaloExchanger:
         """Complete a :meth:`post`: wait for every neighbour and add its
         contribution.  The add order (sorted neighbour rank) matches
         :meth:`assemble`, keeping the two paths bit-identical."""
+        t_wait = time.perf_counter()
         for req in pending.send_requests:
             req.wait()
         if not pending.recv_requests:
+            self.wait_s += time.perf_counter() - t_wait
             return array
         (region,) = pending.regions
         halo = self.halos[region]
@@ -373,6 +384,7 @@ class HaloExchanger:
                 received_bytes += received.nbytes
                 array[halo.neighbors[nbr]] += received
             span.add(messages=len(pending.recv_requests), bytes=received_bytes)
+        self.wait_s += time.perf_counter() - t_wait
         return array
 
     def post_many(self, arrays: dict[int, np.ndarray]) -> PendingExchange:
@@ -401,9 +413,11 @@ class HaloExchanger:
     ) -> dict[int, np.ndarray]:
         """Complete a :meth:`post_many`; add order (sorted neighbour, then
         region) matches :meth:`assemble_many` bit for bit."""
+        t_wait = time.perf_counter()
         for req in pending.send_requests:
             req.wait()
         if not pending.recv_requests:
+            self.wait_s += time.perf_counter() - t_wait
             return arrays
         regions = list(pending.regions)
         with self.tracer.span("halo.wait", merged_regions=len(regions)) as span:
@@ -413,4 +427,5 @@ class HaloExchanger:
                 received_bytes += received.nbytes
                 self._unpack_add(regions, arrays, nbr, received)
             span.add(messages=len(pending.recv_requests), bytes=received_bytes)
+        self.wait_s += time.perf_counter() - t_wait
         return arrays

@@ -20,6 +20,7 @@ measurements behind the Figure 6/7 benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -119,6 +120,7 @@ def run_distributed_simulation(
     fault_plan=None,
     recv_timeout_s: float | None = None,
     sanitize: bool = False,
+    stream_dir: str | Path | None = None,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
@@ -151,6 +153,12 @@ def run_distributed_simulation(
     :class:`~repro.analysis.sanitizer.SanitizerReport` (unmatched sends,
     leaked requests, double-waits, tag collisions) is returned as
     ``result.sanitizer_report``.
+
+    ``stream_dir`` turns on live streaming telemetry: every rank writes
+    per-step samples (wall/compute/comm split, halo-wait, health values)
+    to ``<stream_dir>/rank<NNNN>.stream.jsonl`` through a
+    :class:`~repro.obs.stream.StreamingTelemetry` ring buffer, flushed
+    periodically so a long run can be watched with ``tail -f``.
     """
     import time as _time
 
@@ -238,6 +246,16 @@ def run_distributed_simulation(
             sentinel = HealthSentinel(
                 check_every=params.health_check_every, rank=rank
             )
+        stream = None
+        if stream_dir is not None:
+            from ..obs.stream import StreamingTelemetry
+
+            stream = StreamingTelemetry(
+                Path(stream_dir) / f"rank{rank:04d}.stream.jsonl",
+                meta={"rank": rank, "nex_xi": params.nex_xi},
+                comm_time_fn=lambda: comm.stats.comm_time_s,
+                halo_wait_fn=lambda: exchanger.wait_s,
+            )
         solver = GlobalSolver(
             slices[rank],
             params,
@@ -253,23 +271,29 @@ def run_distributed_simulation(
             overlap_exchanger=exchanger if overlap else None,
             element_splits=splits[rank] if overlap else None,
             health_sentinel=sentinel,
+            stream=stream,
         )
         # The allreduce a real run would perform (a no-op on equal values,
         # but it exercises and accounts the collective).
         solver.dt = comm.allreduce(solver.dt, op="min")
         steps = n_steps if n_steps is not None else solver.n_steps
         steps = int(comm.allreduce(steps, op="min"))
-        if n_segments <= 1:
-            result = solver.run(n_steps=steps)
-        else:
-            # Lazy import: campaign sits above parallel in the layering and
-            # imports this module, so a top-level import would be circular.
-            from ..campaign.segments import segment_boundaries
+        try:
+            if n_segments <= 1:
+                result = solver.run(n_steps=steps)
+            else:
+                # Lazy import: campaign sits above parallel in the layering
+                # and imports this module, so a top-level import would be
+                # circular.
+                from ..campaign.segments import segment_boundaries
 
-            for seg_start, seg_stop in segment_boundaries(steps, n_segments):
-                result = solver.run(
-                    n_steps=steps, start_step=seg_start, stop_step=seg_stop
-                )
+                for seg_start, seg_stop in segment_boundaries(steps, n_segments):
+                    result = solver.run(
+                        n_steps=steps, start_step=seg_start, stop_step=seg_stop
+                    )
+        finally:
+            if stream is not None:
+                stream.close()
         if rank_metrics is not None:
             s = comm.stats
             rank_metrics.counter("comm.messages").add(

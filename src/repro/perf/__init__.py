@@ -1,5 +1,15 @@
 """Performance lab: machine models, IPM analog, comm/runtime/flops models."""
 
+from .calibrate import (
+    PhaseComparison,
+    PhaseObservation,
+    TraceCalibration,
+    calibrate,
+    extrapolate_calibrated,
+    phase_observations,
+    predicted_vs_measured,
+    render_predicted_vs_measured,
+)
 from .comm_model import (
     CommTimeFit,
     analytic_comm_time_per_step,
@@ -31,6 +41,14 @@ from .sizes import (
 )
 
 __all__ = [
+    "PhaseComparison",
+    "PhaseObservation",
+    "TraceCalibration",
+    "calibrate",
+    "extrapolate_calibrated",
+    "phase_observations",
+    "predicted_vs_measured",
+    "render_predicted_vs_measured",
     "CommTimeFit",
     "analytic_comm_time_per_step",
     "analytic_total_comm_time",

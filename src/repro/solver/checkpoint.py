@@ -71,15 +71,35 @@ class CheckpointCorruptionError(CheckpointError, IntegrityError):
     """
 
 
-def save_checkpoint(solver, path: str | Path, step: int) -> Path:
+def save_checkpoint(
+    solver, path: str | Path, step: int, tracer=None, metrics=None
+) -> Path:
     """Write the solver's dynamic state to a compressed NPZ file.
 
     The write is atomic: data goes to a temp file in the same directory
     which is then :func:`os.replace`-d over ``path``, so readers never see
     a partially-written checkpoint and a crash mid-write leaves any
     previous checkpoint at ``path`` intact.
+
+    With a ``tracer``/``metrics`` pair the write is recorded as a
+    ``checkpoint.save`` span (with a ``bytes`` counter) plus
+    ``checkpoint.saves``/``io.checkpoint_bytes_written`` counters — the
+    hot I/O path the campaign rollups account for.
     """
+    from ..obs.tracer import maybe_tracer
+
     path = Path(path)
+    with maybe_tracer(tracer).span("checkpoint.save", step=step) as span:
+        out = _save_checkpoint_body(solver, path, step)
+        nbytes = path.stat().st_size
+        span.add(bytes=nbytes)
+        if metrics is not None:
+            metrics.counter("checkpoint.saves").add(1)
+            metrics.counter("io.checkpoint_bytes_written").add(nbytes)
+    return out
+
+
+def _save_checkpoint_body(solver, path: Path, step: int) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {
         "version": np.asarray(_FORMAT_VERSION),
@@ -142,15 +162,31 @@ def _read_arrays(path: Path) -> dict[str, np.ndarray]:
         ) from exc
 
 
-def load_checkpoint(solver, path: str | Path) -> int:
+def load_checkpoint(solver, path: str | Path, tracer=None, metrics=None) -> int:
     """Restore a solver's dynamic state; returns the checkpointed step.
 
     The solver must have been constructed with the identical mesh and
     parameters; shape mismatches are rejected loudly.  Format v1 files
     (fields only, no seismogram buffers) still load, with a warning that
     partially-recorded seismograms were not restored.
+
+    With a ``tracer``/``metrics`` pair the read is recorded as a
+    ``checkpoint.load`` span plus ``checkpoint.loads``/
+    ``io.checkpoint_bytes_read`` counters.
     """
+    from ..obs.tracer import maybe_tracer
+
     path = Path(path)
+    with maybe_tracer(tracer).span("checkpoint.load") as span:
+        nbytes = path.stat().st_size if path.exists() else 0
+        span.add(bytes=nbytes)
+        if metrics is not None:
+            metrics.counter("checkpoint.loads").add(1)
+            metrics.counter("io.checkpoint_bytes_read").add(nbytes)
+        return _load_checkpoint_body(solver, path)
+
+
+def _load_checkpoint_body(solver, path: Path) -> int:
     f = _read_arrays(path)
     if "version" not in f or "step" not in f:
         raise CheckpointError(f"checkpoint {path} lacks the version/step header")

@@ -216,6 +216,7 @@ class GlobalSolver:
         overlap_exchanger=None,
         element_splits: dict | None = None,
         health_sentinel=None,
+        stream=None,
     ):
         self.params = params
         #: Observability hooks: a no-op tracer unless one is injected, and
@@ -223,6 +224,11 @@ class GlobalSolver:
         #: per timestep.
         self.tracer = maybe_tracer(tracer)
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.stream.StreamingTelemetry`: one
+        #: ring-buffer sample per time step, flushed as JSONL so long
+        #: runs are watchable live.  The solver only *reads* state into
+        #: the stream, so streamed and unstreamed runs are bit-identical.
+        self.stream = stream
         #: Numerical health sentinel (:mod:`repro.chaos.sentinel`): either
         #: injected (the launcher passes per-rank sentinels) or
         #: auto-created when ``params.health_check_every`` is set, so every
@@ -571,6 +577,7 @@ class GlobalSolver:
         callbacks: list | None = None,
         start_step: int = 0,
         stop_step: int | None = None,
+        metrics_from_step: int | None = None,
     ) -> SolverResult:
         """March the coupled system and return seismograms and timings.
 
@@ -583,6 +590,17 @@ class GlobalSolver:
         restores its state, then runs with ``start_step`` at the resume
         point and ``stop_step`` at its wall-limit boundary; the restored
         receiver buffers are preserved, not re-allocated.
+
+        ``metrics_from_step`` suppresses per-step metrics emission for
+        steps below it (default: ``start_step``, i.e. emit everything
+        marched).  The segmented executor passes its *planned* segment
+        boundary here: when a corrupt checkpoint forces a restart from an
+        older step, the re-run of the already-counted span must not
+        re-add ``solver.steps``/byte counters or duplicate time-series
+        points — a segmented run's metrics match an uninterrupted run's
+        exactly, like its seismograms.  Streaming telemetry is *not*
+        gated: the stream is an honest log of what executed (re-run
+        steps appear twice; the aggregator dedupes keep-last).
         """
         n_steps = int(n_steps) if n_steps is not None else self.n_steps
         start_step = int(start_step)
@@ -607,59 +625,120 @@ class GlobalSolver:
         energies: list[float] = []
         tr = self.tracer
         metrics = self.metrics
+        metrics_from = (
+            start_step if metrics_from_step is None else int(metrics_from_step)
+        )
+        stream = self.stream
+        if stream is not None:
+            comm_fn = stream.comm_time_fn
+            halo_fn = stream.halo_wait_fn
+            comm_prev = comm_fn() if comm_fn is not None else 0.0
+            halo_prev = halo_fn() if halo_fn is not None else 0.0
         t_start = time.perf_counter()
-        with tr.span("solver.run", steps=stop - start_step):
-            for step in range(start_step, stop):
-                t = step * self.dt
-                with tr.span("solver.timestep"):
-                    self._one_step(t)
-                    for cb in callbacks or ():
-                        cb(step, self)
-                    sentinel = self.health_sentinel
-                    if sentinel is not None and (
-                        sentinel.due(step) or step == stop - 1
-                    ):
-                        # The final step is always checked so a blow-up in
-                        # the last partial interval cannot slip into the
-                        # returned seismograms unflagged.
-                        with tr.span("health.check", step=step):
-                            if metrics is not None:
-                                metrics.counter("health.checks").add(1)
-                            try:
-                                sentinel.check(self, step)
-                            except Exception:
-                                if metrics is not None:
-                                    metrics.counter("health.failures").add(1)
-                                raise
-                    if self.receiver_set is not None:
-                        cm = self.regions[RegionCode.CRUST_MANTLE]
-                        with tr.span("io.seismogram_record") as sp:
-                            self.receiver_set.record(
-                                self.solid[RegionCode.CRUST_MANTLE].displ,
-                                cm.ibool,
-                            )
-                            nbytes = len(self.receiver_set.receivers) * 3 * 8
-                            sp.add(bytes=nbytes)
-                            if metrics is not None:
-                                metrics.counter("io.seismogram_bytes").add(nbytes)
-                    if track_energy and step % energy_every == 0:
-                        energies.append(self._total_kinetic_energy())
-                        if metrics is not None:
-                            metrics.timeseries("solver.kinetic_energy_j").append(
-                                step, energies[-1]
-                            )
-                if metrics is not None:
-                    metrics.counter("solver.steps").add(1)
-                    max_displ = max(
-                        (
-                            float(np.max(np.abs(self.solid[code].displ)))
-                            for code in self.solid_codes
-                        ),
-                        default=0.0,
-                    )
-                    metrics.timeseries("solver.max_displacement_m").append(
-                        step, max_displ
-                    )
+        try:
+            with tr.span("solver.run", steps=stop - start_step):
+                for step in range(start_step, stop):
+                    t = step * self.dt
+                    if stream is not None:
+                        t_step = time.perf_counter()
+                        compute_prev = self.timings.compute_s
+                    with tr.span("solver.timestep"):
+                        self._one_step(t)
+                        for cb in callbacks or ():
+                            cb(step, self)
+                        sentinel = self.health_sentinel
+                        if sentinel is not None and (
+                            sentinel.due(step) or step == stop - 1
+                        ):
+                            # The final step is always checked so a blow-up
+                            # in the last partial interval cannot slip into
+                            # the returned seismograms unflagged.
+                            with tr.span("health.check", step=step):
+                                if metrics is not None and step >= metrics_from:
+                                    metrics.counter("health.checks").add(1)
+                                try:
+                                    sentinel.check(self, step)
+                                except Exception:
+                                    if (
+                                        metrics is not None
+                                        and step >= metrics_from
+                                    ):
+                                        metrics.counter(
+                                            "health.failures"
+                                        ).add(1)
+                                    raise
+                        if self.receiver_set is not None:
+                            cm = self.regions[RegionCode.CRUST_MANTLE]
+                            with tr.span("io.seismogram_record") as sp:
+                                self.receiver_set.record(
+                                    self.solid[RegionCode.CRUST_MANTLE].displ,
+                                    cm.ibool,
+                                )
+                                nbytes = (
+                                    len(self.receiver_set.receivers) * 3 * 8
+                                )
+                                sp.add(bytes=nbytes)
+                                if metrics is not None and step >= metrics_from:
+                                    metrics.counter(
+                                        "io.seismogram_bytes"
+                                    ).add(nbytes)
+                        if track_energy and step % energy_every == 0:
+                            energies.append(self._total_kinetic_energy())
+                            if metrics is not None and step >= metrics_from:
+                                metrics.timeseries(
+                                    "solver.kinetic_energy_j"
+                                ).append(step, energies[-1])
+                    if metrics is not None and step >= metrics_from:
+                        metrics.counter("solver.steps").add(1)
+                        max_displ = max(
+                            (
+                                float(np.max(np.abs(self.solid[code].displ)))
+                                for code in self.solid_codes
+                            ),
+                            default=0.0,
+                        )
+                        metrics.timeseries("solver.max_displacement_m").append(
+                            step, max_displ
+                        )
+                    if stream is not None:
+                        comm_now = comm_fn() if comm_fn is not None else 0.0
+                        halo_now = halo_fn() if halo_fn is not None else 0.0
+                        sentinel = self.health_sentinel
+                        rs = self.receiver_set
+                        stream.sample(
+                            step,
+                            time.perf_counter() - t_step,
+                            compute_s=self.timings.compute_s - compute_prev,
+                            comm_s=comm_now - comm_prev,
+                            halo_wait_s=halo_now - halo_prev,
+                            seismogram_fill=(
+                                rs.step_cursor / rs.n_steps
+                                if rs is not None and rs.n_steps
+                                else float("nan")
+                            ),
+                            health_checks=(
+                                float(sentinel.checks)
+                                if sentinel is not None
+                                else float("nan")
+                            ),
+                            health_peak_m=(
+                                sentinel.last_peak_m
+                                if sentinel is not None
+                                else float("nan")
+                            ),
+                            health_energy_j=(
+                                sentinel.last_energy_j
+                                if sentinel is not None
+                                else float("nan")
+                            ),
+                        )
+                        comm_prev, halo_prev = comm_now, halo_now
+        finally:
+            # Crash tolerance: an injected fault (or a real blow-up) must
+            # not lose the already-buffered samples — the stream is the
+            # post-mortem's first witness.
+            if stream is not None:
+                stream.flush()
         self.timings.total_s = time.perf_counter() - t_start
         self.timings.steps = stop - start_step
         return SolverResult(

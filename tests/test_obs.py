@@ -171,19 +171,45 @@ class TestExporters:
     def test_chrome_trace_schema(self, tmp_path):
         tr = self._tracer()
         path = write_chrome_trace(tmp_path / "t.chrome.json", [tr])
-        payload = json.loads(path.read_text())
-        events = payload["traceEvents"]
-        assert len(events) == 3
-        for ev in events:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 3
+        for ev in spans:
             # The Trace Event Format fields Perfetto requires.
-            assert ev["ph"] == "X"
             assert isinstance(ev["ts"], float) and ev["ts"] >= 0.0
             assert isinstance(ev["dur"], float) and ev["dur"] >= 0.0
             assert ev["pid"] == 2 and ev["tid"] == 0
             assert isinstance(ev["name"], str)
-        by_name = {ev["name"]: ev for ev in events}
+        by_name = {ev["name"]: ev for ev in spans}
         assert by_name["kernel.elastic"]["args"]["flops"] == 1000.0
         assert by_name["halo.exchange"]["args"]["bytes"] == 256.0
+
+    def test_chrome_trace_rank_metadata(self, tmp_path):
+        """Each (pid, tid) row gets process/thread-name metadata events."""
+        tr = self._tracer()
+        path = write_chrome_trace(tmp_path / "t.chrome.json", [tr])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name", "process_sort_index"} <= names
+        proc = next(e for e in meta if e["name"] == "process_name")
+        assert proc["pid"] == 2
+        assert proc["args"]["name"] == "rank 2"
+        sort = next(e for e in meta if e["name"] == "process_sort_index")
+        assert sort["args"]["sort_index"] == 2
+
+    def test_chrome_trace_non_ascii_span_names(self, tmp_path):
+        """Span names outside ASCII survive the export byte-exactly."""
+        tr = Tracer(pid=0)
+        with tr.span("station.KONO-Ø"):
+            pass
+        path = write_chrome_trace(tmp_path / "t.chrome.json", [tr])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["name"] == "station.KONO-Ø"
+        jsonl = write_jsonl(tmp_path / "t.jsonl", [tr])
+        records, _metrics, _meta = read_jsonl(jsonl)
+        assert records[0].name == "station.KONO-Ø"
 
     def test_jsonl_round_trip(self, tmp_path):
         tr = self._tracer()
