@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Chaos drill demo: inject faults, recover, prove bit-identity.
 
-Runs the two end-to-end drills the chaos subsystem exists for:
+Runs the three end-to-end drills the chaos subsystem exists for:
 
 1. **comm drill** — a seeded `FaultPlan` drops a halo message on one
    rank and crashes another mid-run; the retry loop re-runs against the
@@ -14,6 +14,11 @@ Runs the two end-to-end drills the chaos subsystem exists for:
    and the segmented executor falls back to the last verified
    checkpoint, re-marches the lost span, and must still reproduce the
    clean run bit-for-bit.
+3. **service drill** — behind the serving tier, a backend solve raises a
+   transient fault (absorbed by the campaign retry loop) and the cached
+   seismogram bundle then has a bit flipped (quarantined and recomputed
+   by the store); the client must see two clean answers, both
+   bit-identical to an undisturbed reference.
 
 Each drill's `DrillReport` is written to `chaos_drill_output/` as JSON —
 the same artifact CI uploads when a drill fails.
@@ -27,7 +32,13 @@ from pathlib import Path
 
 from repro import SimulationParameters
 from repro.apps import default_source, default_stations
-from repro.chaos import FaultPlan, FaultSpec, run_checkpoint_drill, run_comm_drill
+from repro.chaos import (
+    FaultPlan,
+    FaultSpec,
+    run_checkpoint_drill,
+    run_comm_drill,
+    run_service_drill,
+)
 
 OUT_DIR = Path("chaos_drill_output")
 
@@ -93,6 +104,20 @@ def main() -> int:
         + ("PASS" if report.passed else "FAIL")
     )
     reports.append(("checkpoint", report))
+
+    print("== service drill (backend fault + corrupt cache payload) ==")
+    report = run_service_drill(
+        demo_params(nstep_override=8),
+        source={"position": [0.0, 0.0, 6171.0]},
+        inject_failures=1,
+    )
+    print(
+        f"   faults_fired={report.faults_fired}"
+        f" statuses={report.detail.get('statuses')}"
+        f" bit_identical={report.bit_identical} -> "
+        + ("PASS" if report.passed else "FAIL")
+    )
+    reports.append(("service", report))
 
     failed = [name for name, r in reports if not r.passed]
     for name, r in reports:

@@ -422,9 +422,12 @@ class DeterminismRule(Rule):
         "(time.time, datetime.now) make results depend on call order "
         "and machine time.  Mesh, model, kernel, and solver code must "
         "use an explicitly seeded np.random.default_rng(seed) and take "
-        "clocks as injected parameters."
+        "clocks as injected parameters.  The serving tier is in scope "
+        "too: its content-addressed cache keys must never fold in "
+        "wall-clock or RNG state (latency timing uses the monotonic "
+        "time.perf_counter, which is allowed)."
     )
-    scope_dirs = ("mesh", "kernels", "solver", "model")
+    scope_dirs = ("mesh", "kernels", "solver", "model", "service")
 
     def check(self, ctx: FileContext) -> list[Finding]:
         findings: list[Finding] = []
@@ -483,9 +486,11 @@ class BroadExceptRule(Rule):
         "a genuine rank death gets retried like a transient, or a "
         "corrupted checkpoint gets reported as success.  Handlers must "
         "catch typed errors, or re-raise (possibly wrapped) what they "
-        "catch."
+        "catch.  The service HTTP boundary is in scope: it maps *typed* "
+        "failures to status codes and lets unexpected bugs surface "
+        "instead of turning them all into opaque 500s."
     )
-    scope_dirs = ("parallel", "campaign", "chaos")
+    scope_dirs = ("parallel", "campaign", "chaos", "service")
 
     BROAD = ("Exception", "BaseException")
 

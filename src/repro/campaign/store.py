@@ -17,7 +17,51 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
-__all__ = ["JobRecord", "ResultStore", "render_campaign_table"]
+__all__ = [
+    "JobRecord",
+    "ResultStore",
+    "read_manifest",
+    "render_campaign_table",
+]
+
+
+def read_manifest(
+    path: str | Path, record_type: str | None = None
+) -> tuple[list[dict[str, Any]], dict[str, int]]:
+    """Tolerantly read an append-only ``manifest.jsonl`` stream.
+
+    Same policy as :func:`repro.obs.stream.read_stream`: a torn final
+    line — the normal aftermath of a process killed mid-append — is
+    counted in ``info["bad_lines"]`` and skipped, never raised, so a
+    crash cannot poison ``report --campaign`` or a service warm-up
+    scan.  Returns ``(records, info)``; a missing manifest is an empty
+    stream, not an error.  ``record_type`` filters on the records'
+    ``record_type`` field (absent = per-job records, which predate the
+    field and match ``record_type=None`` only).
+    """
+    records: list[dict[str, Any]] = []
+    info = {"bad_lines": 0, "lines": 0}
+    manifest = Path(path)
+    if not manifest.exists():
+        return records, info
+    with manifest.open(encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            info["lines"] += 1
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                info["bad_lines"] += 1
+                continue
+            if not isinstance(obj, dict):
+                info["bad_lines"] += 1
+                continue
+            if record_type is not None and obj.get("record_type") != record_type:
+                continue
+            records.append(obj)
+    return records, info
 
 
 @dataclass
@@ -101,6 +145,12 @@ class ResultStore:
         if status is not None:
             records = [r for r in records if r.status == status]
         return records
+
+    def read_manifest(
+        self, record_type: str | None = None
+    ) -> tuple[list[dict[str, Any]], dict[str, int]]:
+        """Tolerant view of ``manifest.jsonl`` (see :func:`read_manifest`)."""
+        return read_manifest(self.manifest_path, record_type=record_type)
 
     def get(self, name: str) -> JobRecord:
         path = self.jobs_dir / f"{name}.json"

@@ -25,7 +25,12 @@ inject, recover, and assert the recovered seismograms are bit-identical
 to an undisturbed run.
 """
 
-from .drill import DrillReport, run_checkpoint_drill, run_comm_drill
+from .drill import (
+    DrillReport,
+    run_checkpoint_drill,
+    run_comm_drill,
+    run_service_drill,
+)
 from .faults import (
     COMM_FAULT_KINDS,
     FAULT_KINDS,
@@ -62,6 +67,7 @@ __all__ = [
     "DrillReport",
     "run_comm_drill",
     "run_checkpoint_drill",
+    "run_service_drill",
 ]
 
 

@@ -9,14 +9,18 @@ restarts — and assert the recovered seismograms are **bit-identical** to
 the undisturbed run.  Determinism is the property under test: recovery
 that changes the physics is not recovery.
 
-Two drills cover the two failure surfaces:
+Three drills cover the three failure surfaces:
 
 * :func:`run_comm_drill` — message drops / rank crashes during a
   distributed run, recovered by the retry loop (works in both the
   blocking and the overlapped halo schedule);
 * :func:`run_checkpoint_drill` — a bit flipped in a mid-run checkpoint,
   recovered by the segmented executor's fallback to the last verified
-  checkpoint.
+  checkpoint;
+* :func:`run_service_drill` — a transient backend fault plus a
+  corrupted cache payload behind the serving tier, both absorbed by the
+  campaign retry loop and the store's quarantine-and-recompute without
+  the client ever seeing an error.
 
 Both return a :class:`DrillReport` whose :meth:`~DrillReport.to_dict`
 is what the CI chaos step writes as its artifact.
@@ -31,7 +35,12 @@ import numpy as np
 
 from .faults import FaultPlan
 
-__all__ = ["DrillReport", "run_comm_drill", "run_checkpoint_drill"]
+__all__ = [
+    "DrillReport",
+    "run_comm_drill",
+    "run_checkpoint_drill",
+    "run_service_drill",
+]
 
 
 @dataclass
@@ -223,5 +232,129 @@ def run_checkpoint_drill(
     report.passed = (
         report.bit_identical and bool(corrupted) and fallbacks >= 1
     )
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_service_drill(
+    params,
+    source: dict | None = None,
+    stations: list | None = None,
+    n_steps: int | None = None,
+    inject_failures: int = 1,
+    max_attempts: int = 3,
+) -> DrillReport:
+    """Fault the serving tier twice; the client must never see it.
+
+    Two injections against one :class:`~repro.service.frontend
+    .SimulationService`:
+
+    1. the first request's backend solve raises ``inject_failures``
+       transient faults (the campaign queue's injection hook) — the
+       worker pool's retry loop must absorb them and the client must
+       get a normal ``computed`` answer;
+    2. the stored NPZ payload then has one bit flipped — the next
+       identical request must quarantine the corrupt bundle, recompute,
+       and still answer bit-identically to an undisturbed reference.
+
+    Passes when both faults fired, both answers match the undisturbed
+    reference bit-for-bit, and no request raised.
+    """
+    import asyncio
+    import tempfile
+
+    from ..config.parameters import ConfigError
+    from ..service.frontend import ServiceError, SimulationService
+    from ..service.keys import SimulationRequest
+    from ..solver.receivers import Station
+    from .integrity import flip_bit
+
+    t0 = time.perf_counter()
+    stations = list(stations) if stations else [
+        Station("POLE", (0.0, 0.0, 6371.0))
+    ]
+    report = DrillReport(
+        drill="service",
+        passed=False,
+        bit_identical=False,
+        attempts=0,
+        faults_fired=0,
+        detail={
+            "inject_failures": inject_failures,
+            "max_attempts": max_attempts,
+        },
+    )
+    clean = SimulationRequest(
+        params=params,
+        stations=tuple(stations),
+        source=source,
+        n_steps=n_steps,
+    )
+    faulty = SimulationRequest(
+        params=params,
+        stations=tuple(stations),
+        source=source,
+        n_steps=n_steps,
+        # Execution options are not part of the content key, so the
+        # faulty request addresses the same cache entry as the clean one.
+        job_options={
+            "inject_failures": inject_failures,
+            "max_attempts": max_attempts,
+        },
+    )
+
+    async def _drill() -> None:
+        with tempfile.TemporaryDirectory() as ref_dir, \
+                tempfile.TemporaryDirectory() as svc_dir:
+            ref_service = SimulationService(store=ref_dir,
+                                            n_backend_workers=1)
+            try:
+                reference = await ref_service.handle(clean)
+            finally:
+                ref_service.close()
+            service = SimulationService(store=svc_dir, n_backend_workers=1)
+            try:
+                # Injection 1: transient backend faults, retried away.
+                report.attempts += 1
+                first = await service.handle(faulty)
+                report.fault_events.append({
+                    "kind": "backend_transient",
+                    "count": inject_failures,
+                    "status": first.status,
+                })
+                report.faults_fired += inject_failures
+                # Injection 2: corrupt the cached payload mid-file.
+                run = service.store.find_exact(first.key)
+                size = run.path.stat().st_size
+                flip_bit(run.path, bit=8 * (size // 2))
+                report.attempts += 1
+                second = await service.handle(clean)
+                report.fault_events.append({
+                    "kind": "cache_corruption",
+                    "path": str(run.path),
+                    "status": second.status,
+                })
+                report.faults_fired += 1
+                report.detail["statuses"] = [first.status, second.status]
+                report.detail["corruptions"] = service.counts["corruptions"]
+                report.detail["solver_runs"] = service.solver_runs
+                report.bit_identical = (
+                    _bit_identical(reference.seismograms, first.seismograms)
+                    and _bit_identical(
+                        reference.seismograms, second.seismograms
+                    )
+                )
+                report.passed = (
+                    report.bit_identical
+                    and service.counts["errors"] == 0
+                    and service.counts["corruptions"] >= 1
+                )
+            finally:
+                service.close()
+
+    try:
+        asyncio.run(_drill())
+    except (ServiceError, ConfigError, OSError) as exc:
+        report.errors.append(f"{type(exc).__name__}: {exc}")
     report.wall_s = time.perf_counter() - t0
     return report

@@ -375,6 +375,101 @@ def bench_stream_overhead(quick: bool) -> dict[str, float]:
     }
 
 
+@register(
+    "service_load",
+    "simulation service over localhost HTTP: cold compute vs warm cache hits",
+    guards=(
+        GuardSpec("hit_speedup", direction="higher", ratio=3.0, floor=5.0),
+        GuardSpec("hit_p99_s", direction="lower", ratio=2.5),
+        GuardSpec("requests_per_s", direction="higher", ratio=2.5),
+        GuardSpec("hit_rate", direction="higher", ratio=1.5, floor=0.5),
+    ),
+)
+def bench_service_load(quick: bool) -> dict[str, float]:
+    import asyncio
+    import tempfile
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..service import ServiceHTTPServer, SimulationService, http_json
+    from .aggregate import percentile
+
+    n_steps = 6 if quick else 10
+    n_hits = 40 if quick else 150
+    n_clients = 4
+    spec = {
+        "params": {
+            "NEX_XI": 8,
+            "NER_CRUST_MANTLE": 2,
+            "NER_OUTER_CORE": 1,
+            "NER_INNER_CORE": 1,
+            "NSTEP_OVERRIDE": n_steps,
+        },
+        "source": {"position": [0.0, 0.0, 6171.0]},
+        "stations": [
+            {"name": "POLE", "position": [0.0, 0.0, 6371.0]},
+            {"name": "EQ", "position": [6371.0, 0.0, 0.0]},
+        ],
+        "include_data": False,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SimulationService(store=tmp, n_backend_workers=2)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        box: dict[str, ServiceHTTPServer] = {}
+
+        def serve() -> None:
+            asyncio.set_event_loop(loop)
+            server = ServiceHTTPServer(service, port=0)
+            loop.run_until_complete(server.start())
+            box["server"] = server
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        started.wait()
+        server = box["server"]
+        try:
+            def simulate() -> float:
+                t0 = time.perf_counter()
+                status, payload = http_json(
+                    "127.0.0.1", server.port, "POST", "/simulate", spec
+                )
+                assert status == 200, payload
+                return time.perf_counter() - t0
+
+            cold_s = simulate()  # the one real solve
+            for _ in range(3):
+                simulate()  # settle connections and caches
+            t_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                hit_latencies = list(
+                    pool.map(lambda _i: simulate(), range(n_hits))
+                )
+            load_wall_s = time.perf_counter() - t_start
+            stats = service.stats()
+        finally:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+                timeout=30
+            )
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+            loop.close()
+            service.close()
+    hit_p50 = percentile(hit_latencies, 50.0)
+    return {
+        "cold_s": cold_s,
+        "hit_p50_s": hit_p50,
+        "hit_p99_s": percentile(hit_latencies, 99.0),
+        "hit_speedup": cold_s / max(hit_p50, 1e-9),
+        "requests_per_s": n_hits / load_wall_s,
+        "hit_rate": stats["hit_rate"],
+        "solver_runs": float(stats["solver_runs"]),
+        "n_requests": float(stats["requests"]),
+    }
+
+
 # ------------------------------------------------------------ run / records
 
 

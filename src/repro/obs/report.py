@@ -35,6 +35,7 @@ __all__ = [
     "render_phase_tree",
     "render_ipm_table",
     "render_top_spans",
+    "render_service_report",
     "render_summary",
     "main",
 ]
@@ -249,6 +250,47 @@ def render_top_spans(summary: RunSummary, n: int = 10) -> str:
     for name, (total, calls) in ranked:
         per_call = total / calls if calls else 0.0
         lines.append(f"{name:<32}{total:>10.4f}{calls:>8}{per_call:>12.6f}")
+    return "\n".join(lines)
+
+
+def render_service_report(stats: dict) -> str:
+    """Operator view of a :class:`~repro.service.frontend
+    .SimulationService` stats snapshot (the ``python -m repro.service
+    stats`` table): request mix, cache effectiveness, latency
+    percentiles, store health."""
+    store = stats.get("store", {}) or {}
+    requests = stats.get("requests", 0)
+
+    def pct(n: float) -> str:
+        return f"{100.0 * n / requests:5.1f}%" if requests else "    -"
+
+    lines = [
+        "== repro.service stats ==",
+        f"{'requests':<22}{requests:>10}",
+    ]
+    for name in ("hits", "sliced", "coalesced", "misses",
+                 "corruptions", "errors"):
+        lines.append(
+            f"{name:<22}{stats.get(name, 0):>10}  {pct(stats.get(name, 0))}"
+        )
+    lines.append(f"{'solver runs':<22}{stats.get('solver_runs', 0):>10}")
+    lines.append(
+        f"{'hit rate':<22}{100.0 * stats.get('hit_rate', 0.0):>9.1f}%"
+    )
+    for label, key in (
+        ("latency p50", "latency_p50_s"),
+        ("latency p99", "latency_p99_s"),
+        ("latency mean", "latency_mean_s"),
+    ):
+        value = stats.get(key)
+        shown = "-" if value is None or value != value else f"{value:.4f} s"
+        lines.append(f"{label:<22}{shown:>12}")
+    lines.append(
+        f"{'store runs':<22}{store.get('runs', 0):>10}  "
+        f"({store.get('physics_groups', 0)} wavefields, "
+        f"{store.get('corruptions', 0)} quarantined, "
+        f"{store.get('manifest_bad_lines', 0)} torn manifest lines)"
+    )
     return "\n".join(lines)
 
 

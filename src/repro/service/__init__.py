@@ -1,0 +1,56 @@
+"""repro.service: simulation-as-a-service with a content-addressed cache.
+
+The serving tier over the campaign machinery: clients describe an
+event + station set, the service normalizes it into canonical content
+keys (:mod:`.keys`), answers from the CRC-verified
+:class:`~repro.service.store.SeismogramStore` when it can — exactly,
+by slicing a superset run (:mod:`.slicing`), or by coalescing onto an
+identical in-flight solve — and falls through to the campaign
+queue/worker pool otherwise (:mod:`.frontend`).  :mod:`.http` exposes
+it over a stdlib-only asyncio HTTP listener; ``python -m repro.service``
+is the operator CLI (serve / request / warm / stats).
+"""
+
+from .frontend import (
+    BackendError,
+    BadRequestError,
+    ServiceError,
+    ServiceResponse,
+    SimulationService,
+)
+from .http import ServiceHTTPServer, http_json
+from .keys import (
+    SERVICE_EXCLUDED_FIELDS,
+    RequestKeys,
+    SimulationRequest,
+    canonical_stations,
+    derive_keys,
+    physics_key,
+    request_key,
+    station_fingerprint,
+)
+from .slicing import SlicePlan, apply_slice, plan_slice
+from .store import SeismogramStore, StoredRun
+
+__all__ = [
+    "BackendError",
+    "BadRequestError",
+    "ServiceError",
+    "ServiceResponse",
+    "SimulationService",
+    "ServiceHTTPServer",
+    "http_json",
+    "SERVICE_EXCLUDED_FIELDS",
+    "RequestKeys",
+    "SimulationRequest",
+    "canonical_stations",
+    "derive_keys",
+    "physics_key",
+    "request_key",
+    "station_fingerprint",
+    "SlicePlan",
+    "apply_slice",
+    "plan_slice",
+    "SeismogramStore",
+    "StoredRun",
+]

@@ -1,0 +1,157 @@
+"""Superset reuse: answer a request by slicing a stored run's receivers.
+
+The ambitious cache win.  A stored run records the wavefield at *its*
+station set; any request for the **same wavefield** (same
+:func:`~repro.service.keys.physics_key`) at a subset of those stations
+is answerable without touching the solver — the seismogram rows are
+simply selected.  That answer is **exact**: recording a station is a
+read (or fixed interpolation) of the wavefield, so dropping rows from a
+superset run yields bit-identical traces to a run that asked for the
+subset directly.
+
+When a requested station is *not* in the stored set but the stored
+receivers densely bracket it — two stored stations form a segment the
+requested position sits on — the response is linearly interpolated
+between the bracketing traces instead.  That answer is approximate and
+is flagged ``exact=False`` in the response provenance; callers that
+need solver-grade traces at that exact position can treat it as a
+preview and force a compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..solver.receivers import Station
+
+__all__ = ["SlicePlan", "plan_slice", "apply_slice"]
+
+#: Positions closer than this (km; the mesh is in Earth-radius km) are
+#: the same station.
+POSITION_TOL_KM = 1.0e-6
+
+#: A requested station counts as *bracketed* by two stored stations when
+#: its perpendicular distance to the segment between them is below this
+#: fraction of the segment length.
+BRACKET_TOL = 0.05
+
+
+@dataclass(frozen=True)
+class SlicePlan:
+    """How to build each requested row from the stored rows.
+
+    ``ops[i]`` is ``(j, -1, 1.0)`` for an exact copy of stored row
+    ``j``, or ``(j, k, t)`` for linear interpolation
+    ``(1 - t) * row[j] + t * row[k]``.  ``exact`` is True iff every op
+    is a copy.
+    """
+
+    ops: tuple[tuple[int, int, float], ...]
+    exact: bool
+
+
+def _exact_row(
+    station: Station, names: list[str], positions: np.ndarray
+) -> int | None:
+    """Stored row holding exactly this station's position, or None.
+
+    Matching is by position (the physics), with the name required to
+    agree when it exists in the stored set — two different instruments
+    at one site still share the trace, but a stored name re-used for a
+    different position is not a match.
+    """
+    target = np.asarray(station.position, dtype=np.float64)
+    dist = np.linalg.norm(positions - target[None, :], axis=1)
+    j = int(np.argmin(dist))
+    if dist[j] > POSITION_TOL_KM:
+        return None
+    if station.name in names and names.index(station.name) != j:
+        # The stored set knows this name at a different position.
+        named = names.index(station.name)
+        if dist[named] <= POSITION_TOL_KM:
+            return named
+        return None
+    return j
+
+
+def _bracket_row(
+    station: Station, positions: np.ndarray
+) -> tuple[int, int, float] | None:
+    """Bracketing stored pair (j, k, t) for this position, or None.
+
+    Scans the pairs formed by the few nearest stored stations; the
+    requested point must project *inside* the segment (0 <= t <= 1)
+    with a small perpendicular offset relative to the segment length.
+    """
+    if positions.shape[0] < 2:
+        return None
+    target = np.asarray(station.position, dtype=np.float64)
+    dist = np.linalg.norm(positions - target[None, :], axis=1)
+    nearest = np.argsort(dist)[: min(6, positions.shape[0])]
+    best: tuple[float, int, int, float] | None = None
+    for a_idx, j in enumerate(nearest):
+        for k in nearest[a_idx + 1:]:
+            a = positions[j]
+            b = positions[k]
+            seg = b - a
+            seg_len = float(np.linalg.norm(seg))
+            if seg_len <= POSITION_TOL_KM:
+                continue
+            t = float(np.dot(target - a, seg) / (seg_len * seg_len))
+            if not 0.0 <= t <= 1.0:
+                continue
+            offset = float(np.linalg.norm(target - (a + t * seg)))
+            if offset > BRACKET_TOL * seg_len:
+                continue
+            if best is None or offset < best[0]:
+                best = (offset, int(j), int(k), t)
+    if best is None:
+        return None
+    _offset, j, k, t = best
+    return j, k, t
+
+
+def plan_slice(
+    requested: tuple[Station, ...],
+    stored_stations: tuple[Station, ...],
+) -> SlicePlan | None:
+    """Plan how a stored run answers the requested stations.
+
+    Returns ``None`` when any requested station is neither present in
+    nor bracketed by the stored receiver set — the request is then a
+    genuine miss and must go to the solver.
+    """
+    names = [s.name for s in stored_stations]
+    positions = np.asarray(
+        [s.position for s in stored_stations], dtype=np.float64
+    )
+    ops: list[tuple[int, int, float]] = []
+    exact = True
+    for station in requested:
+        j = _exact_row(station, names, positions)
+        if j is not None:
+            ops.append((j, -1, 1.0))
+            continue
+        bracket = _bracket_row(station, positions)
+        if bracket is None:
+            return None
+        ops.append(bracket)
+        exact = False
+    return SlicePlan(ops=tuple(ops), exact=exact)
+
+
+def apply_slice(plan: SlicePlan, data: np.ndarray) -> np.ndarray:
+    """Materialise the planned rows from a stored (n, steps, 3) array.
+
+    Exact copies are bit-preserving row selections; interpolated rows
+    are the planned convex combination of the bracketing traces.
+    """
+    rows = []
+    for j, k, t in plan.ops:
+        if k < 0:
+            rows.append(data[j].copy())
+        else:
+            rows.append((1.0 - t) * data[j] + t * data[k])
+    return np.stack(rows, axis=0)

@@ -399,6 +399,33 @@ class TestWorkerPool:
         assert rec.params_hash and rec.mesh_hash
         assert store.summary()["retries"] == 1
 
+    def test_manifest_read_tolerates_torn_final_line(self, tmp_path):
+        """A crash mid-append must cost one line, never the manifest."""
+        store = ResultStore(tmp_path)
+        pool = self.pool(store=store)
+        pool.run([fake_job("a"), fake_job("b")])
+        with open(store.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "c", "status": "succee')  # torn mid-append
+        records, info = store.read_manifest()
+        assert {r["name"] for r in records} == {"a", "b"}
+        assert info["bad_lines"] == 1
+        assert info["lines"] == 3
+
+    def test_manifest_read_filters_record_type(self, tmp_path):
+        store = ResultStore(tmp_path)
+        pool = self.pool(store=store)
+        pool.run([fake_job("a")])
+        with open(store.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"record_type": "campaign_summary",
+                                 "jobs": 1}) + "\n")
+        summaries, _info = store.read_manifest(
+            record_type="campaign_summary"
+        )
+        assert [s["jobs"] for s in summaries] == [1]
+        # Per-job records predate the field and match record_type=None.
+        jobs, _info = store.read_manifest()
+        assert {r.get("name") for r in jobs} == {"a", None}
+
     def test_trace_spans_recorded(self):
         pool = self.pool(n_workers=2, trace=True)
         pool.run([fake_job(f"j{i}") for i in range(4)])

@@ -21,6 +21,7 @@ Four subsystems, four invariant families:
 
 import json
 import math
+import time
 
 import numpy as np
 import pytest
@@ -466,15 +467,29 @@ class TestCalibration:
 
         # Enough steps that the flops-modeled solver phases dominate the
         # per-call-modeled mesher ones (which grow with NEX and would
-        # otherwise skew the cross-resolution total).
+        # otherwise skew the cross-resolution total).  The traces carry
+        # real wall-clock, so deep in a long suite a scheduler hiccup or
+        # GC pause during one run can swamp the model error this class
+        # asserts on: collect garbage before timing and keep the faster
+        # of two runs per resolution.
+        import gc
+
         out = {}
         for nex in (6, 8):
-            tracer = Tracer(pid=0)
-            run_global_simulation(
-                small_params(nex=nex, n_steps=20),
-                sources=[demo_source()], n_steps=20, tracer=tracer,
-            )
-            out[nex] = tracer.records
+            best = None
+            best_wall = None
+            for _ in range(2):
+                gc.collect()
+                tracer = Tracer(pid=0)
+                t0 = time.perf_counter()
+                run_global_simulation(
+                    small_params(nex=nex, n_steps=20),
+                    sources=[demo_source()], n_steps=20, tracer=tracer,
+                )
+                wall = time.perf_counter() - t0
+                if best_wall is None or wall < best_wall:
+                    best, best_wall = tracer.records, wall
+            out[nex] = best
         return out
 
     def test_self_prediction_is_exact(self, traces):
