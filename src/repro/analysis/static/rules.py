@@ -309,7 +309,12 @@ class HotLoopAllocRule(Rule):
         "path carry a `# repro: hot-loop` marker on their def line (the "
         "rule insists every compute_forces* kernel entry point does); "
         "inside them, array allocation and list-append accumulation are "
-        "flagged — preallocate in __init__ and fill in place."
+        "flagged — preallocate in __init__ and fill in place.  One "
+        "sanctioned pragma case: the event-batched kernel branches "
+        "(docs/batching.md) np.empty their batched OUTPUT before the "
+        "per-event sweep — the unbatched path's einsum allocates its "
+        "result the same way, so the explicit form is no extra traffic, "
+        "and it must carry a dtype (np.empty_like needs no pragma)."
     )
     scope_dirs = ("kernels",)
     scope_suffixes = ("solver/solver.py",)

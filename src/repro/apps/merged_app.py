@@ -31,6 +31,7 @@ from ..solver.solver import GlobalSolver, SolverResult
 __all__ = [
     "GlobalSimulationResult",
     "run_global_simulation",
+    "run_batched_simulation",
     "run_legacy_two_program",
 ]
 
@@ -144,6 +145,75 @@ def run_global_simulation(
     if metrics is not None:
         metrics.gauge("mesher.wall_s").set(mesher_s)
         metrics.gauge("solver.wall_s").set(solver_s)
+    return GlobalSimulationResult(
+        solver_result=result,
+        mesh=mesh,
+        mesher_wall_s=mesher_s,
+        solver_wall_s=solver_s,
+        disk=DiskUsage(files=0, bytes=0, wall_s=0.0),
+        solver=solver,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+def run_batched_simulation(
+    params: SimulationParameters,
+    event_sources: list[list],
+    stations: list[Station] | None = None,
+    n_steps: int | None = None,
+    trace: bool = False,
+    mesh: GlobalMesh | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    stream=None,
+) -> GlobalSimulationResult:
+    """Run B events through ONE event-batched solver on a shared mesh.
+
+    ``event_sources[b]`` is event b's source list.  The mesh is built (or
+    reused via ``mesh``) once; the solver carries fields with a leading
+    event axis and sweeps all events through each kernel pass, so the
+    mesh, geometry factors, and kernel setup are amortised B ways
+    (docs/batching.md).  The result's ``seismograms`` are
+    ``(B, n_stations, n_steps, 3)``; per-event seismograms come from
+    ``result.solver_result.receivers.event_receiver_set(b)`` (or
+    ``.seismogram(name, event=b)``) and are bit-identical to B separate
+    :func:`run_global_simulation` calls with ``sources=event_sources[b]``.
+    """
+    if tracer is None and trace:
+        tracer = Tracer(pid=0)
+    if metrics is None and trace:
+        metrics = MetricsRegistry()
+    t0 = time.perf_counter()
+    if mesh is None:
+        mesh = build_global_mesh(params, tracer=tracer)
+    else:
+        from ..campaign.mesh_cache import mesh_cache_key
+
+        if mesh_cache_key(mesh.params) != mesh_cache_key(params):
+            raise ValueError(
+                "pre-built mesh was generated from mesh-incompatible "
+                "parameters; rebuild or fix the cache key"
+            )
+        if metrics is not None:
+            metrics.counter("mesher.reused").add(1)
+    mesher_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    solver = GlobalSolver(
+        mesh,
+        params,
+        stations=stations,
+        tracer=tracer,
+        metrics=metrics,
+        stream=stream,
+        event_sources=event_sources,
+    )
+    result = solver.run(n_steps=n_steps)
+    solver_s = time.perf_counter() - t1
+    if metrics is not None:
+        metrics.gauge("mesher.wall_s").set(mesher_s)
+        metrics.gauge("solver.wall_s").set(solver_s)
+        metrics.gauge("batch.events").set(float(len(event_sources)))
     return GlobalSimulationResult(
         solver_result=result,
         mesh=mesh,

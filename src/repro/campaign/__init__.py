@@ -24,6 +24,7 @@ JSON spec and prints the summary table; see the README's "Campaigns"
 section and ``examples/campaign_demo.py``.
 """
 
+from .batching import batch_key, plan_batches, run_batched_campaign
 from .errors import (
     CampaignError,
     InjectedFailure,
@@ -73,4 +74,7 @@ __all__ = [
     "JobResult",
     "WorkerPool",
     "run_campaign",
+    "batch_key",
+    "plan_batches",
+    "run_batched_campaign",
 ]

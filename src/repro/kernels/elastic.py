@@ -23,6 +23,18 @@ All variants compute the identical weak-form term
 
 and agree to roundoff; :mod:`tests` verify this against an independent
 pure-Python reference (:mod:`repro.kernels.reference`).
+
+Event batching: every public kernel also accepts a *batched* local
+displacement ``(B, nspec, n, n, n, 3)`` (detected by ``ndim``, see
+:mod:`repro.solver.fields`) and sweeps all B events in one pass: each
+event runs the identical unbatched contractions into a preallocated
+slice of the output.  Each event slice is therefore bit-identical to an
+unbatched call on that event alone — the arithmetic, and hence the FP
+summation order, is the very same code path (verified by
+tests/test_batching.py).  A fused einsum with a leading free ``b``
+subscript is equally bit-identical (the contracted axes are unchanged)
+but was measured slower: its B-wide temporaries fall out of cache.  See
+docs/batching.md.
 """
 
 from __future__ import annotations
@@ -48,7 +60,8 @@ def compute_strain(  # repro: hot-loop
     """Symmetric strain tensor at every GLL point: (nspec, n, n, n, 3, 3).
 
     Used by the attenuation memory-variable update, which needs the
-    deviatoric strain separately from the force computation.
+    deviatoric strain separately from the force computation.  A batched
+    ``u`` (B, nspec, n, n, n, 3) yields (B, nspec, n, n, n, 3, 3).
     """
     grad = _displacement_gradient_batched(u, geom, basis)
     return 0.5 * (grad + np.swapaxes(grad, -1, -2))
@@ -78,7 +91,9 @@ def compute_forces_elastic(  # repro: hot-loop
 
     Parameters
     ----------
-    u : (nspec, n, n, n, 3) local displacement (gathered through ibool)
+    u : (nspec, n, n, n, 3) local displacement (gathered through ibool),
+        or (B, nspec, n, n, n, 3) to sweep a batch of B events in one
+        pass (the result gains the same leading axis)
     geom : precomputed :class:`ElementGeometry`
     lam, mu : (nspec, n, n, n) Lame parameters at the GLL points
     basis : the GLL basis bundle
@@ -94,6 +109,18 @@ def compute_forces_elastic(  # repro: hot-loop
     """
     if variant == "vectorized":
         return _forces_vectorized(u, geom, lam, mu, basis, stress_correction)
+    if u.ndim == 6:
+        # The per-element variants gain nothing from a fused event axis;
+        # sweep events with the unbatched implementation (bit-identical).
+        out = np.empty_like(u)
+        for b in range(u.shape[0]):
+            correction = (
+                stress_correction[b] if stress_correction is not None else None
+            )
+            out[b] = compute_forces_elastic(
+                u[b], geom, lam, mu, basis, variant, correction
+            )
+        return out
     if variant == "baseline":
         return _forces_baseline(u, geom, lam, mu, basis, stress_correction)
     if variant == "blas":
@@ -111,7 +138,22 @@ def compute_forces_elastic(  # repro: hot-loop
 def _displacement_gradient_batched(  # repro: hot-loop
     u: np.ndarray, geom: ElementGeometry, basis: GLLBasis
 ) -> np.ndarray:
-    """du_c/dx_d at every point, (nspec, n, n, n, 3, 3) with [c, d]."""
+    """du_c/dx_d at every point, (nspec, n, n, n, 3, 3) with [c, d].
+
+    With a batched ``u`` of shape (B, nspec, n, n, n, 3) the result gains
+    the same leading event axis; the ``b`` subscript is free (never
+    contracted), so each event's sums run in the unbatched order.
+    """
+    if u.ndim == 6:
+        # Sweep the batch as a per-event loop over the identical unbatched
+        # contraction: bit-identity by construction, and temporaries stay
+        # one event wide.  (A fused einsum with a free ``b`` subscript is
+        # also bit-identical but measured slower — the B-wide temporaries
+        # fall out of cache; see docs/batching.md.)
+        out = np.empty((*u.shape, 3), dtype=np.float64)  # repro: disable=R3 - the output array; the unbatched path's einsum allocates the same
+        for b in range(u.shape[0]):
+            out[b] = _displacement_gradient_batched(u[b], geom, basis)
+        return out
     h = basis.hprime
     t1 = np.einsum("il,eljkc->eijkc", h, u)
     t2 = np.einsum("jl,eilkc->eijkc", h, u)
@@ -127,8 +169,18 @@ def _assemble_weak_divergence(  # repro: hot-loop
     """Contract weighted fluxes back with hprime^T: the -B^T step.
 
     ``flux`` has shape (nspec, n, n, n, l, c): the jacobian-scaled stress
-    projected on reference axis l.  Returns (nspec, n, n, n, c).
+    projected on reference axis l.  Returns (nspec, n, n, n, c).  A
+    batched flux (B, nspec, n, n, n, l, c) yields (B, nspec, n, n, n, c);
+    the weight factors broadcast unchanged (they align on the trailing
+    axes), only the einsum subscripts gain the free ``b``.
     """
+    if flux.ndim == 7:
+        # Per-event sweep of the unbatched contraction (see
+        # _displacement_gradient_batched for the rationale).
+        out = np.empty_like(flux[..., 0, :])
+        for b in range(flux.shape[0]):
+            out[b] = _assemble_weak_divergence(flux[b], basis)
+        return out
     hw = basis.hprime_wgll  # hw[l, i] = w_l * h[l, i]
     w = basis.weights
     t1 = np.einsum("li,eljkc->eijkc", hw, flux[..., 0, :])
@@ -148,6 +200,16 @@ def _forces_vectorized(  # repro: hot-loop
     basis: GLLBasis,
     stress_correction: np.ndarray | None,
 ) -> np.ndarray:
+    if u.ndim == 6:
+        # Batched sweep: each event runs the identical unbatched pass into
+        # its own slice — bit-identical per event, one-event temporaries.
+        out = np.empty_like(u)
+        for b in range(u.shape[0]):
+            correction = (
+                stress_correction[b] if stress_correction is not None else None
+            )
+            out[b] = _forces_vectorized(u[b], geom, lam, mu, basis, correction)
+        return out
     grad = _displacement_gradient_batched(u, geom, basis)
     strain = 0.5 * (grad + np.swapaxes(grad, -1, -2))
     sigma = stress_from_strain(strain, lam, mu)

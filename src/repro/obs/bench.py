@@ -470,6 +470,106 @@ def bench_service_load(quick: bool) -> dict[str, float]:
     }
 
 
+@register(
+    "batch_throughput",
+    "event-batched distributed runs: events/sec and halo messages, "
+    "B in {1, 4, 16}",
+    guards=(
+        GuardSpec("events_per_sec_b1", direction="higher", ratio=2.0),
+        GuardSpec("events_per_sec_b4", direction="higher", ratio=2.0),
+        GuardSpec("speedup_b4", direction="higher", ratio=1.6, floor=1.2),
+        GuardSpec("halo_message_reduction_b4", direction="higher",
+                  ratio=1.6, floor=2.0),
+    ),
+)
+def bench_batch_throughput(quick: bool) -> dict[str, float]:
+    from ..config import constants
+    from ..parallel import run_distributed_simulation
+    from ..solver import MomentTensorSource, Station, gaussian_stf
+
+    # The distributed path is the honest vehicle for the batching claim:
+    # every run pays per-slice meshing, halo construction, and mass
+    # assembly, all amortised across the B events, and the batched halo
+    # exchange sends one message per neighbour per step regardless of B.
+    # (Serial batching only amortises setup — on one core its B=4 gain
+    # is ~1.3x; see docs/batching.md.)
+    # Short runs are the service-request profile batching targets: the
+    # per-run SPMD setup (per-slice meshing, halo construction, mass
+    # assembly) is the amortised share, so it must stay a visible
+    # fraction of the wall.
+    n_steps = 4
+    rounds = 1 if quick else 3
+    deep = not quick  # B=16 only in the full tier
+    params = _small_params(nex=8, nproc=1, n_steps=n_steps)
+    radius = constants.R_EARTH_KM
+
+    def event(i: int):
+        return [MomentTensorSource(
+            position=(0.0, 0.0, radius - (100.0 + 25.0 * i)),
+            moment=(1.0 + i) * 1e20 * np.eye(3),
+            stf=gaussian_stf(15.0),
+            time_shift=40.0,
+        )]
+
+    stations = [
+        Station("POLE", (0.0, 0.0, radius)),
+        Station("EQ_X", (radius, 0.0, 0.0)),
+    ]
+
+    def messages(result) -> int:
+        return sum(
+            s.messages_sent + s.messages_received for s in result.comm_stats
+        )
+
+    def timed(nbatch: int) -> tuple[float, int]:
+        t0 = time.perf_counter()
+        if nbatch == 1:
+            result = run_distributed_simulation(
+                params, sources=event(0), stations=stations, n_steps=n_steps
+            )
+        else:
+            result = run_distributed_simulation(
+                params,
+                stations=stations,
+                n_steps=n_steps,
+                event_sources=[event(i) for i in range(nbatch)],
+            )
+        return time.perf_counter() - t0, messages(result)
+
+    # The quantity of interest is the B=4/B=1 wall ratio.  Cross-round
+    # minima are a biased estimator for a ratio (the short B=1 run hits
+    # a lucky sample more often than the long B=4 run), so pair the two
+    # variants within each round — both see the same noise — and take
+    # the MEDIAN per-round ratio; throughput rates still use the
+    # per-variant minima, the house style for absolute times.
+    timed(1)  # warm-up: lazy imports, allocator
+    best: dict[int, float] = {1: math.inf, 4: math.inf}
+    msgs: dict[int, int] = {}
+    ratios: list[float] = []
+    for _ in range(rounds):
+        t1, msgs[1] = timed(1)
+        t4, msgs[4] = timed(4)
+        best[1] = min(best[1], t1)
+        best[4] = min(best[4], t4)
+        ratios.append(4.0 * t1 / t4)
+    if deep:
+        best[16], msgs[16] = timed(16)  # one shot: B=16 is the slow tail
+    metrics = {
+        "events_per_sec_b1": 1.0 / best[1],
+        "events_per_sec_b4": 4.0 / best[4],
+        "speedup_b4": sorted(ratios)[len(ratios) // 2],
+        "halo_messages_b1": float(msgs[1]),
+        # B sequential runs would send B * msgs[1] messages.
+        "halo_message_reduction_b4": 4.0 * msgs[1] / msgs[4],
+        "n_steps": float(n_steps),
+    }
+    if deep:
+        metrics["events_per_sec_b16"] = 16.0 / best[16]
+        metrics["speedup_b16"] = 16.0 / best[16] * best[1]
+        metrics["halo_message_reduction_b16"] = 16.0 * msgs[1] / msgs[16]
+    return metrics
+
+
 # ------------------------------------------------------------ run / records
 
 

@@ -47,7 +47,12 @@ __all__ = [
 
 @dataclass
 class DistributedResult:
-    """Outcome of a distributed run."""
+    """Outcome of a distributed run.
+
+    For event-batched runs (``event_sources``) ``seismograms`` carries a
+    leading event axis: (B, n_stations, n_steps, 3) instead of
+    (n_stations, n_steps, 3).
+    """
 
     seismograms: np.ndarray | None
     station_names: list[str]
@@ -121,6 +126,7 @@ def run_distributed_simulation(
     recv_timeout_s: float | None = None,
     sanitize: bool = False,
     stream_dir: str | Path | None = None,
+    event_sources: list[list] | None = None,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
@@ -159,11 +165,25 @@ def run_distributed_simulation(
     to ``<stream_dir>/rank<NNNN>.stream.jsonl`` through a
     :class:`~repro.obs.stream.StreamingTelemetry` ring buffer, flushed
     periodically so a long run can be watched with ``tail -f``.
+
+    ``event_sources`` (mutually exclusive with ``sources``) runs B events
+    at once through one batched solver per rank: entry b is event b's
+    source list.  Every rank's halo exchanger packs all B events into ONE
+    message per neighbour per step (docs/batching.md), and the returned
+    ``seismograms`` gain a leading event axis (B, n_stations, n_steps, 3)
+    — event slice b bit-identical to a separate run with ``sources=
+    event_sources[b]``.
     """
     import time as _time
 
     if n_segments < 1:
         raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    if event_sources is not None:
+        if sources is not None:
+            raise ValueError("pass either sources or event_sources, not both")
+        if len(event_sources) == 0:
+            raise ValueError("event_sources must contain at least one event")
+    nbatch = len(event_sources) if event_sources is not None else None
     if overlap is None:
         overlap = params.overlap_comm
 
@@ -219,6 +239,22 @@ def run_distributed_simulation(
         for p in pseudo:
             index = int(p.name[5:])
             sources_of_rank.setdefault(rank, []).append(sources[index])
+    # Batched: assign each event's sources independently (same nearest-point
+    # rule), giving every rank a B-long list of per-event source lists —
+    # empty lists for events with no source in that rank's slice.
+    event_sources_of_rank: dict[int, list[list]] = {}
+    if event_sources is not None:
+        for b, ev_srcs in enumerate(event_sources):
+            pseudo_b = [
+                Station(f"__src{i}", tuple(np.asarray(s.position)))
+                for i, s in enumerate(ev_srcs)
+            ]
+            for rank, plist in _assign_stations(pseudo_b, slices).items():
+                per_rank = event_sources_of_rank.setdefault(
+                    rank, [[] for _ in range(nbatch)]
+                )
+                for p in plist:
+                    per_rank[b].append(ev_srcs[int(p.name[5:])])
     # Agree on the global time step before building any solver: attenuation
     # coefficients depend on dt, so it must be fixed up front.
     from ..mesh.quality import estimate_time_step
@@ -237,7 +273,17 @@ def run_distributed_simulation(
         rank = comm.rank
         rank_tracer = _tracer(rank)
         rank_metrics = metrics[rank] if metrics is not None else None
-        exchanger = HaloExchanger(comm, halos[rank], tracer=rank_tracer)
+        exchanger = HaloExchanger(
+            comm, halos[rank], tracer=rank_tracer, batch=nbatch
+        )
+        # Mass matrices are assembled UNBATCHED at setup (they are shared
+        # across events), so a batched run needs a second, unbatched
+        # exchanger dedicated to mass assembly.
+        mass_exchanger = (
+            HaloExchanger(comm, halos[rank], tracer=rank_tracer)
+            if nbatch is not None
+            else exchanger
+        )
         my_stations = station_assignment.get(rank, [])
         sentinel = None
         if params.health_check_every is not None:
@@ -262,8 +308,17 @@ def run_distributed_simulation(
             sources=sources_of_rank.get(rank, []),
             stations=my_stations or None,
             assembler=lambda region, arr: exchanger.assemble(region, arr),
+            mass_assembler=lambda region, arr: mass_exchanger.assemble(
+                region, arr
+            ),
             multi_assembler=(
                 exchanger.assemble_many if combine_solid_messages else None
+            ),
+            event_sources=(
+                event_sources_of_rank.get(rank)
+                or [[] for _ in range(nbatch)]
+                if nbatch is not None
+                else None
             ),
             dt_override=dt_global,
             tracer=rank_tracer,
@@ -348,12 +403,19 @@ def run_distributed_simulation(
         if payload["data"] is not None:
             names.extend(payload["names"])
             data_blocks.append(payload["data"])
-    steps = data_blocks[0].shape[1] if data_blocks else (n_steps or 0)
+    # Batched blocks are (B, nrec_rank, steps, 3): the step axis moves to
+    # position 2 and ranks concatenate along the receiver axis (1).
+    step_axis = 1 if nbatch is None else 2
+    steps = data_blocks[0].shape[step_axis] if data_blocks else (n_steps or 0)
     # A source in a slice-boundary element is legitimately owned by several
     # ranks; the solver injects it in each, but seismograms are recorded
     # once per station (stations are assigned uniquely), so plain
     # concatenation is correct.
-    seismograms = np.concatenate(data_blocks, axis=0) if data_blocks else None
+    seismograms = (
+        np.concatenate(data_blocks, axis=0 if nbatch is None else 1)
+        if data_blocks
+        else None
+    )
     return DistributedResult(
         seismograms=seismograms,
         station_names=names,

@@ -26,6 +26,23 @@ Every response carries provenance: how it was answered (``hit`` /
 Latency lands in a ``service.latency_s`` histogram and per-request
 ``service.request`` spans (hit/miss/coalesce counters attached), so
 ``python -m repro.service stats`` can report p50/p99.
+
+Interactive misses solve one at a time (a waiting client wants the
+lowest latency for *its* event, not campaign throughput).  Bulk
+pre-population is different: a warm batch of compatible specs — same
+deployment parameters and stations, sources differing — is exactly the
+shape the campaign's event-batching scheduler packs into one B-event
+solver run (:mod:`repro.campaign.batching`, docs/batching.md)::
+
+    warm specs -> JobSpecs -> plan_batches -> [B-event solve] -> fan out
+                                                    |
+                                 store.put per event, provenance intact
+
+Operators filling a store offline should drive
+:func:`repro.campaign.run_batched_campaign` and ``store.put`` the
+fanned-out per-event results; each record's ``batch_size`` /
+``batch_index`` metadata survives into the manifest, and bit-identity
+guarantees the served seismograms equal dedicated per-event solves.
 """
 
 from __future__ import annotations

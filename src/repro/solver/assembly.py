@@ -15,7 +15,9 @@ from ..kernels.geometry import ElementGeometry
 
 __all__ = [
     "gather",
+    "gather_batched",
     "scatter_add",
+    "scatter_add_batched",
     "assemble_mass_matrix",
     "assemble_scalar_mass_matrix",
 ]
@@ -24,6 +26,15 @@ __all__ = [
 def gather(global_field: np.ndarray, ibool: np.ndarray) -> np.ndarray:
     """Global -> local: (nglob[, c]) -> (nspec, n, n, n[, c])."""
     return global_field[ibool]
+
+
+def gather_batched(global_field: np.ndarray, ibool: np.ndarray) -> np.ndarray:
+    """Batched global -> local: (B, nglob[, c]) -> (B, nspec, n, n, n[, c]).
+
+    One fancy-indexing pass gathers all B events; each ``out[b]`` equals
+    ``gather(global_field[b], ibool)`` exactly (pure copies, no sums).
+    """
+    return global_field[:, ibool]
 
 
 def scatter_add(
@@ -42,6 +53,36 @@ def scatter_add(
     flat = local_field.reshape(-1, ncomp)
     for c in range(ncomp):
         out[:, c] = np.bincount(idx, weights=flat[:, c], minlength=nglob)
+    return out
+
+
+def scatter_add_batched(
+    local_field: np.ndarray, ibool: np.ndarray, nglob: int
+) -> np.ndarray:
+    """Batched local -> global sum, bit-identical per event slice.
+
+    ``local_field`` is (B, nspec, n, n, n) or (B, nspec, n, n, n, ncomp);
+    returns (B, nglob) or (B, nglob, ncomp).  Each event runs the same
+    ``np.bincount`` calls as :func:`scatter_add`, so ``out[b]`` matches
+    the unbatched result bit-for-bit (identical FP summation order).
+    """
+    idx = ibool.ravel()
+    nbatch = local_field.shape[0]
+    if local_field.ndim == ibool.ndim + 1:
+        out = np.empty((nbatch, nglob))
+        for b in range(nbatch):
+            out[b] = np.bincount(
+                idx, weights=local_field[b].ravel(), minlength=nglob
+            )
+        return out
+    ncomp = local_field.shape[-1]
+    out = np.empty((nbatch, nglob, ncomp))
+    flat = local_field.reshape(nbatch, -1, ncomp)
+    for b in range(nbatch):
+        for c in range(ncomp):
+            out[b, :, c] = np.bincount(
+                idx, weights=flat[b, :, c], minlength=nglob
+            )
     return out
 
 

@@ -38,8 +38,13 @@ class AttenuationState:
     ----------
     fits : per-Q-bin SLS fits (elements are binned by their Q_mu value)
     bin_of_element : (nspec,) index into ``fits`` per element
-    zeta : (n_sls, nspec, n, n, n, 3, 3) memory tensors (deviatoric)
+    zeta : (n_sls, nspec, n, n, n, 3, 3) memory tensors (deviatoric), or
+        (n_sls, B, nspec, n, n, n, 3, 3) for an event-batched solver
+        (``build_attenuation(..., batch=B)``); the update methods dispatch
+        on ``zeta.ndim`` and the relaxation is elementwise, so each event
+        slice evolves bit-identically to an unbatched state
     alpha, weight : (n_sls, nspec, 1, 1, 1) update coefficients per element
+        (shared across events — the mesh, dt and Q model are common)
     """
 
     fits: list[SLSFit]
@@ -56,14 +61,22 @@ class AttenuationState:
     def update(self, strain: np.ndarray) -> None:
         """Advance memory variables one step with the current strain.
 
-        ``strain`` is (nspec, n, n, n, 3, 3); only its deviatoric part
-        drives the memory variables.
+        ``strain`` is (nspec, n, n, n, 3, 3) — or (B, nspec, n, n, n,
+        3, 3) for a batched state; only its deviatoric part drives the
+        memory variables.
         """
         dev = strain.copy()
         trace_third = np.trace(strain, axis1=-2, axis2=-1) / 3.0
         idx = np.arange(3)
         dev[..., idx, idx] -= trace_third[..., None]
         # zeta <- alpha zeta + (1 - alpha) y dev   (exponential relaxation)
+        if self.zeta.ndim == 8:
+            self.zeta *= self.alpha[:, None, ..., None, None]
+            self.zeta += (
+                (self.weight * self.y)[:, None, ..., None, None]
+                * dev[None, ...]
+            )
+            return
         self.zeta *= self.alpha[..., None, None]
         self.zeta += (
             (self.weight * self.y)[..., None, None] * dev[None, ...]
@@ -85,6 +98,17 @@ class AttenuationState:
         trace_third = np.trace(strain, axis1=-2, axis2=-1) / 3.0
         idx = np.arange(3)
         dev[..., idx, idx] -= trace_third[..., None]
+        if self.zeta.ndim == 8:
+            zeta = self.zeta[:, :, elements]
+            zeta *= self.alpha[:, None, elements][..., None, None]
+            zeta += (
+                (self.weight[:, None, elements] * self.y[:, None, elements])[
+                    ..., None, None
+                ]
+                * dev[None, ...]
+            )
+            self.zeta[:, :, elements] = zeta
+            return
         zeta = self.zeta[:, elements]
         zeta *= self.alpha[:, elements][..., None, None]
         zeta += (
@@ -98,6 +122,11 @@ class AttenuationState:
     ) -> np.ndarray:
         """:meth:`stress_correction` for an element subset (``mu`` already
         sliced to the subset)."""
+        if self.zeta.ndim == 8:
+            return (
+                2.0 * mu[..., None, None]
+                * self.zeta[:, :, elements].sum(axis=0)
+            )
         return 2.0 * mu[..., None, None] * self.zeta[:, elements].sum(axis=0)
 
 
@@ -108,12 +137,15 @@ def build_attenuation(
     f_max: float,
     n_sls: int = constants.N_SLS,
     n_q_bins: int = 6,
+    batch: int | None = None,
 ) -> AttenuationState:
     """Build the attenuation state for a solid region.
 
     ``q_mu`` is the per-GLL-point quality factor from the mesher; elements
     are binned by their median Q (PREM has a handful of distinct Q values,
     so binning is exact in practice) and one SLS fit is shared per bin.
+    With ``batch=B`` the memory tensors gain a per-event axis
+    (n_sls, B, nspec, n, n, n, 3, 3); the coefficients stay shared.
     """
     if q_mu.ndim != 4:
         raise ValueError(f"q_mu must be (nspec, n, n, n), got {q_mu.shape}")
@@ -141,7 +173,10 @@ def build_attenuation(
             alpha[j, mask] = a[j]
             y[j, mask] = fit.y[j]
     weight = 1.0 - alpha
-    zeta = np.zeros((n_sls, nspec, n, n, n, 3, 3))
+    if batch is None:
+        zeta = np.zeros((n_sls, nspec, n, n, n, 3, 3))
+    else:
+        zeta = np.zeros((n_sls, batch, nspec, n, n, n, 3, 3))
     return AttenuationState(
         fits=fits,
         bin_of_element=bin_of,

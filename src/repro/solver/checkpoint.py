@@ -24,6 +24,12 @@ campaign's segmented executor treats that error as "fall back to the
 last *verified* checkpoint"; the retry policy treats it as fail-fast
 for the artifact (re-running the same load cannot fix the file).  v1/v2
 checkpoints still load, with a warning that they carry no checksums.
+
+Event-batched solvers (docs/batching.md) checkpoint naturally under the
+same format: field and zeta arrays simply carry their leading event axis
+and the shape checks enforce that a batched checkpoint restores into an
+equally-batched solver.  Per-event state can be extracted after load via
+``field.event_view(b)`` / ``receiver_set.event_receiver_set(b)``.
 """
 
 from __future__ import annotations
@@ -267,7 +273,24 @@ def _load_checkpoint_body(solver, path: Path) -> int:
             )
         rs = solver.receiver_set
         data = f["seis_data"]
-        if data.shape[0] != len(rs.receivers) or data.shape[2] != 3:
+        # Batched buffers are (B, nrec, n_steps, 3); unbatched are
+        # (nrec, n_steps, 3).  A batched checkpoint only restores into a
+        # batched solver (and vice versa) — the ndim check below rejects
+        # the mismatch as a shape error.
+        batched = data.ndim == 4
+        rec_axis, step_axis = (1, 2) if batched else (0, 1)
+        if batched != (getattr(rs, "batch", None) is not None):
+            raise ValueError(
+                f"checkpoint seismogram buffer {data.shape} is "
+                f"{'batched' if batched else 'unbatched'} but the solver's "
+                f"receiver set is not; rebuild the solver to match"
+            )
+        if batched and data.shape[0] != rs.batch:
+            raise ValueError(
+                f"checkpoint seismogram buffer {data.shape} carries "
+                f"{data.shape[0]} events, solver expects {rs.batch}"
+            )
+        if data.shape[rec_axis] != len(rs.receivers) or data.shape[-1] != 3:
             raise ValueError(
                 f"checkpoint seismogram buffer {data.shape} does not match "
                 f"the solver's {len(rs.receivers)} receivers"
@@ -275,10 +298,17 @@ def _load_checkpoint_body(solver, path: Path) -> int:
         # The restored run keeps the checkpointed recording horizon: the
         # buffer is rebuilt at the saved length (the solver's default
         # n_steps need not match the campaign's total).
-        if data.shape[1] != rs.n_steps:
-            from .receivers import ReceiverSet
+        if data.shape[step_axis] != rs.n_steps:
+            if batched:
+                from .receivers import BatchedReceiverSet
 
-            rs = ReceiverSet(rs.receivers, data.shape[1], rs.dt)
+                rs = BatchedReceiverSet(
+                    rs.receivers, rs.batch, data.shape[step_axis], rs.dt
+                )
+            else:
+                from .receivers import ReceiverSet
+
+                rs = ReceiverSet(rs.receivers, data.shape[step_axis], rs.dt)
             solver.receiver_set = rs
         rs.data[:] = data
         rs.step_cursor = int(f["seis_step"])

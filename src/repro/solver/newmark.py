@@ -7,6 +7,15 @@ conditionally stable under the Courant limit.  The scheme is split into a
 *predictor* (advance displacement with the old acceleration, half-advance
 velocity) and a *corrector* (finish the velocity with the new
 acceleration) so that force evaluation happens exactly once per step.
+
+Batch-aware contract: every update here is an elementwise in-place
+operation (``+=`` / ``[:] = 0``), so the same functions serve both field
+layouts of :mod:`repro.solver.fields` — unbatched ``(nglob[, 3])`` and
+batched ``(B, nglob[, 3])`` — with no dispatch.  Elementwise updates are
+trivially bit-identical per event slice: advancing a batched array and
+advancing each ``field[b]`` separately perform the exact same scalar
+operations in the same order.  Callers own the arrays; nothing here
+allocates.
 """
 
 from __future__ import annotations

@@ -54,14 +54,21 @@ from .assembly import (
     assemble_mass_matrix,
     assemble_scalar_mass_matrix,
     gather,
+    gather_batched,
     scatter_add,
+    scatter_add_batched,
 )
 from .attenuation import AttenuationState, build_attenuation
 from .body_terms import coriolis_local_force, gravity_local_force
 from .coupling import CouplingOperator, build_coupling_operator
 from .fields import FluidField, SolidField
 from .oceans import OceanLoad, build_ocean_load
-from .receivers import ReceiverSet, Station, locate_receivers
+from .receivers import (
+    BatchedReceiverSet,
+    ReceiverSet,
+    Station,
+    locate_receivers,
+)
 from .sources import MomentTensorSource, PointForceSource, moment_tensor_source_array
 
 __all__ = ["GlobalSolver", "SolverResult", "SolverTimings"]
@@ -88,9 +95,14 @@ class SolverTimings:
 
 @dataclass
 class SolverResult:
-    """Outputs of one run."""
+    """Outputs of one run.
 
-    receivers: ReceiverSet | None
+    ``receivers`` is a :class:`ReceiverSet` for unbatched runs and a
+    :class:`BatchedReceiverSet` for event-batched ones, in which case
+    ``seismograms`` carries a leading event axis (B, nrec, n_steps, 3).
+    """
+
+    receivers: ReceiverSet | BatchedReceiverSet | None
     timings: SolverTimings
     dt: float
     n_steps: int
@@ -199,6 +211,14 @@ class GlobalSolver:
         :func:`repro.mesh.partition.split_slice_elements`) classifying
         each region's elements as halo-touching or interior.  Regions
         missing from the dict are treated as all-interior.
+    event_sources : list of per-event source lists.  When given, the
+        solver runs in *event-batched* mode with ``B = len(event_sources)``
+        events sharing this mesh: field arrays carry a leading event axis
+        (see :mod:`repro.solver.fields`), the hot kernels sweep all
+        events in one pass, and each event ``b`` receives only its own
+        sources in ``force[b]``.  Mutually exclusive with ``sources``.
+        Every per-event time loop is bit-identical to an unbatched run of
+        that event alone (tests/test_batching.py).
     """
 
     def __init__(
@@ -217,8 +237,27 @@ class GlobalSolver:
         element_splits: dict | None = None,
         health_sentinel=None,
         stream=None,
+        event_sources: list[list] | None = None,
     ):
         self.params = params
+        if event_sources is not None:
+            if sources:
+                raise ValueError(
+                    "pass either sources (unbatched) or event_sources "
+                    "(batched), not both"
+                )
+            if len(event_sources) < 1:
+                raise ValueError("event_sources must hold at least one event")
+        #: Event-batch size (None = historical unbatched layout).
+        self.batch: int | None = (
+            len(event_sources) if event_sources is not None else None
+        )
+        # Layout-dispatched assembly helpers: picked once here so the hot
+        # loop runs a single code path for either layout.
+        self._gather = gather if self.batch is None else gather_batched
+        self._scatter_add = (
+            scatter_add if self.batch is None else scatter_add_batched
+        )
         #: Observability hooks: a no-op tracer unless one is injected, and
         #: an optional :class:`~repro.obs.metrics.MetricsRegistry` sampled
         #: per timestep.
@@ -337,7 +376,8 @@ class GlobalSolver:
             for code in self.solid_codes:
                 st = self.regions[code]
                 self.attenuation[code] = build_attenuation(
-                    st.q_mu, self.dt, f_centre / 3.0, f_centre * 3.0
+                    st.q_mu, self.dt, f_centre / 3.0, f_centre * 3.0,
+                    batch=self.batch,
                 )
         self.omega_vector = (
             np.array([0.0, 0.0, constants.EARTH_OMEGA]) if params.rotation else None
@@ -373,21 +413,36 @@ class GlobalSolver:
         self.source_terms: list[tuple[int, int, np.ndarray, object]] = []
         for source in sources or []:
             self.source_terms.append(self._locate_source(source))
-        self.receiver_set: ReceiverSet | None = None
+        #: Batched-mode source terms: (event, region, element, array, source).
+        self.event_source_terms: list[
+            tuple[int, int, int, np.ndarray, object]
+        ] = []
+        if event_sources is not None:
+            for b, event in enumerate(event_sources):
+                for source in event:
+                    self.event_source_terms.append(
+                        (b, *self._locate_source(source))
+                    )
+        self.receiver_set: ReceiverSet | BatchedReceiverSet | None = None
         if stations:
             st = self.regions[RegionCode.CRUST_MANTLE]
             located = locate_receivers(
                 stations, st.mesh.xyz, st.ibool, mode=params.station_location
             )
-            self.receiver_set = ReceiverSet(located, self.n_steps, self.dt)
+            if self.batch is None:
+                self.receiver_set = ReceiverSet(located, self.n_steps, self.dt)
+            else:
+                self.receiver_set = BatchedReceiverSet(
+                    located, self.batch, self.n_steps, self.dt
+                )
 
         # -- Fields ------------------------------------------------------------
         self.solid: dict[int, SolidField] = {
-            code: SolidField.zeros(self.regions[code].nglob)
+            code: SolidField.zeros(self.regions[code].nglob, batch=self.batch)
             for code in self.solid_codes
         }
         self.fluid: FluidField | None = (
-            FluidField.zeros(self.regions[self.fluid_code].nglob)
+            FluidField.zeros(self.regions[self.fluid_code].nglob, batch=self.batch)
             if self.fluid_code is not None
             else None
         )
@@ -431,6 +486,8 @@ class GlobalSolver:
                     if code in self.solid_codes
                     else st.ibool.shape
                 )
+                if self.batch is not None:
+                    shape = (self.batch, *shape)
                 self._scratch_local[code] = np.empty(shape, dtype=np.float64)
 
     # ------------------------------------------------------------------ setup
@@ -619,9 +676,14 @@ class GlobalSolver:
                     f"receiver buffer length {self.receiver_set.n_steps} "
                     f"to match n_steps {n_steps}"
                 )
-            self.receiver_set = ReceiverSet(
-                self.receiver_set.receivers, n_steps, self.dt
-            )
+            if self.batch is None:
+                self.receiver_set = ReceiverSet(
+                    self.receiver_set.receivers, n_steps, self.dt
+                )
+            else:
+                self.receiver_set = BatchedReceiverSet(
+                    self.receiver_set.receivers, self.batch, n_steps, self.dt
+                )
         energies: list[float] = []
         tr = self.tracer
         metrics = self.metrics
@@ -676,6 +738,7 @@ class GlobalSolver:
                                 )
                                 nbytes = (
                                     len(self.receiver_set.receivers) * 3 * 8
+                                    * (self.batch or 1)
                                 )
                                 sp.add(bytes=nbytes)
                                 if metrics is not None and step >= metrics_from:
@@ -772,8 +835,23 @@ class GlobalSolver:
                     op.add_solid_coupling(force, self.fluid.chi_ddot)
 
     def _apply_sources(self, code: int, force: np.ndarray, t: float) -> None:  # repro: hot-loop
-        """Inject the source terms of one region onto a global force array."""
+        """Inject the source terms of one region onto a global force array.
+
+        Batched mode injects each event's sources only into its own force
+        slice ``force[b]`` — the same ``np.add.at`` an unbatched run of
+        that event performs.
+        """
         st = self.regions[code]
+        if self.batch is not None:
+            for b, region, element, arr, source in self.event_source_terms:
+                if region == code:
+                    amp = source.amplitude(t)
+                    np_ids = st.ibool[element]
+                    np.add.at(
+                        force[b], np_ids.ravel(),
+                        (amp * arr).reshape(-1, 3),
+                    )
+            return
         for region, element, arr, source in self.source_terms:
             if region == code:
                 amp = source.amplitude(t)
@@ -792,7 +870,7 @@ class GlobalSolver:
         """
         tr = self.tracer
         f = self.solid[code]
-        u_local = gather(f.displ, view.ibool)
+        u_local = self._gather(f.displ, view.ibool)
         correction = None
         if code in self.attenuation:
             with tr.span("kernel.attenuation", flops=view.atten_flops):
@@ -833,7 +911,7 @@ class GlobalSolver:
                     stress_correction=correction,
                 )
         if self.omega_vector is not None:
-            v_local = gather(f.veloc, view.ibool)
+            v_local = self._gather(f.veloc, view.ibool)
             force_local += coriolis_local_force(
                 v_local, view.rho, view.geom, self.omega_vector
             )
@@ -860,11 +938,11 @@ class GlobalSolver:
                 flops=self._acoustic_flops,
                 gll_points=self._gll_points[self.fluid_code],
             ):
-                chi_local = gather(self.fluid.chi, fl.ibool)
+                chi_local = self._gather(self.fluid.chi, fl.ibool)
                 force_local = compute_forces_acoustic(
                     chi_local, fl.geom, 1.0 / fl.rho, self.basis
                 )
-                force = scatter_add(force_local, fl.ibool, fl.nglob)
+                force = self._scatter_add(force_local, fl.ibool, fl.nglob)
             self._apply_fluid_coupling(force)
             force = self.assembler(self.fluid_code, force)
             self.fluid.chi_ddot[:] = force / self.mass[self.fluid_code]
@@ -876,7 +954,7 @@ class GlobalSolver:
         for code in self.solid_codes:
             st = self.regions[code]
             force_local = self._solid_local_force(code, st)
-            force = scatter_add(force_local, st.ibool, st.nglob)
+            force = self._scatter_add(force_local, st.ibool, st.nglob)
             self._apply_solid_coupling(code, force)
             self._apply_sources(code, force, t)
             solid_forces[code] = force
@@ -920,11 +998,13 @@ class GlobalSolver:
                 flops=bnd.acoustic_flops,
                 gll_points=bnd.gll_points_count,
             ):
-                chi_b = gather(self.fluid.chi, bnd.ibool)
+                chi_b = self._gather(self.fluid.chi, bnd.ibool)
                 force_b_local = compute_forces_acoustic(
                     chi_b, bnd.geom, bnd.rho_inv, self.basis
                 )
-                halo_contrib = scatter_add(force_b_local, bnd.ibool, fl.nglob)
+                halo_contrib = self._scatter_add(
+                    force_b_local, bnd.ibool, fl.nglob
+                )
             self._apply_fluid_coupling(halo_contrib)
             pending = ex.post(code, halo_contrib)
             with tr.span(
@@ -932,16 +1012,20 @@ class GlobalSolver:
                 flops=inner.acoustic_flops,
                 gll_points=inner.gll_points_count,
             ):
-                chi_i = gather(self.fluid.chi, inner.ibool)
+                chi_i = self._gather(self.fluid.chi, inner.ibool)
                 force_i_local = compute_forces_acoustic(
                     chi_i, inner.geom, inner.rho_inv, self.basis
                 )
                 # Full-order re-scatter: one bincount over the original
                 # ibool keeps the summation order of the blocking path.
                 force_local = self._scratch_local[code]
-                force_local[bnd.idx] = force_b_local
-                force_local[inner.idx] = force_i_local
-                force = scatter_add(force_local, fl.ibool, fl.nglob)
+                if self.batch is None:
+                    force_local[bnd.idx] = force_b_local
+                    force_local[inner.idx] = force_i_local
+                else:
+                    force_local[:, bnd.idx] = force_b_local
+                    force_local[:, inner.idx] = force_i_local
+                force = self._scatter_add(force_local, fl.ibool, fl.nglob)
             self._apply_fluid_coupling(force)
             ex.wait(pending, force)
             self.fluid.chi_ddot[:] = force / self.mass[code]
@@ -955,7 +1039,7 @@ class GlobalSolver:
             bnd = self._subsets[code]["boundary"]
             force_b_local = self._solid_local_force(code, bnd)
             boundary_locals[code] = force_b_local
-            contrib = scatter_add(force_b_local, bnd.ibool, st.nglob)
+            contrib = self._scatter_add(force_b_local, bnd.ibool, st.nglob)
             self._apply_solid_coupling(code, contrib)
             self._apply_sources(code, contrib, t)
             halo_values[code] = contrib
@@ -967,9 +1051,13 @@ class GlobalSolver:
             inner = self._subsets[code]["interior"]
             force_i_local = self._solid_local_force(code, inner)
             force_local = self._scratch_local[code]
-            force_local[bnd.idx] = boundary_locals[code]
-            force_local[inner.idx] = force_i_local
-            force = scatter_add(force_local, st.ibool, st.nglob)
+            if self.batch is None:
+                force_local[bnd.idx] = boundary_locals[code]
+                force_local[inner.idx] = force_i_local
+            else:
+                force_local[:, bnd.idx] = boundary_locals[code]
+                force_local[:, inner.idx] = force_i_local
+            force = self._scatter_add(force_local, st.ibool, st.nglob)
             self._apply_solid_coupling(code, force)
             self._apply_sources(code, force, t)
             solid_forces[code] = force
@@ -1022,7 +1110,7 @@ class GlobalSolver:
             st = self.regions[code]
             f = self.solid[code]
             total += 0.5 * float(np.sum(self.mass[code][:, None] * f.veloc**2))
-            u_local = gather(f.displ, st.ibool)
+            u_local = self._gather(f.displ, st.ibool)
             if st.ti_moduli is not None:
                 from ..kernels.anisotropic import compute_forces_elastic_ti
 
@@ -1036,7 +1124,7 @@ class GlobalSolver:
             total += -0.5 * float(np.sum(u_local * ku))
         if self.fluid is not None:
             fl = self.regions[self.fluid_code]
-            chidot_local = gather(self.fluid.chi_dot, fl.ibool)
+            chidot_local = self._gather(self.fluid.chi_dot, fl.ibool)
             k_chidot = compute_forces_acoustic(
                 chidot_local, fl.geom, 1.0 / fl.rho, self.basis
             )

@@ -5,6 +5,13 @@ tensor M at location x_s with source-time function S(t).  In the weak form
 the moment-tensor term integrates to ``M : grad(w)(x_s)`` — evaluated here
 by differentiating the Lagrange basis of the host element at the source's
 reference coordinates, exactly as SPECFEM precomputes its ``sourcearray``.
+
+Event batching: sources stay strictly per-event objects.  A batched run
+(see :mod:`repro.solver.fields`) carries one list of sources per event;
+the solver precomputes each event's ``sourcearray`` with the functions
+here, unchanged, and injects event ``b``'s amplitudes only into force
+slice ``force[b]`` — so the source term of a batched event is the exact
+unbatched computation, bit for bit.
 """
 
 from __future__ import annotations
