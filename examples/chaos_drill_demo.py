@@ -1,136 +1,21 @@
 #!/usr/bin/env python
-"""Chaos drill demo: inject faults, recover, prove bit-identity.
+"""Chaos drill demo — thin wrapper over the unified chaos CLI.
 
-Runs the three end-to-end drills the chaos subsystem exists for:
+The drills themselves (comm, checkpoint, service, rank-death) live in
+:mod:`repro.chaos.drill`, and the command-line front end is
+``python -m repro.chaos`` (:mod:`repro.chaos.__main__`).  This script is
+kept as a stable entry point for older docs and muscle memory; it simply
+delegates:
 
-1. **comm drill** — a seeded `FaultPlan` drops a halo message on one
-   rank and crashes another mid-run; the retry loop re-runs against the
-   same plan (whose exhausted fire budgets keep the faults from
-   re-firing) until an attempt survives, and the recovered seismograms
-   must be bit-identical to an undisturbed reference.  Run in both the
-   blocking and overlapped halo schedules.
-2. **checkpoint drill** — a bit is flipped in the middle of a freshly
-   written checkpoint; the v3 CRC32 verification rejects it on restore
-   and the segmented executor falls back to the last verified
-   checkpoint, re-marches the lost span, and must still reproduce the
-   clean run bit-for-bit.
-3. **service drill** — behind the serving tier, a backend solve raises a
-   transient fault (absorbed by the campaign retry loop) and the cached
-   seismogram bundle then has a bit flipped (quarantined and recomputed
-   by the store); the client must see two clean answers, both
-   bit-identical to an undisturbed reference.
+    PYTHONPATH=src python examples/chaos_drill_demo.py
+        ==  PYTHONPATH=src python -m repro.chaos drill all
 
-Each drill's `DrillReport` is written to `chaos_drill_output/` as JSON —
-the same artifact CI uploads when a drill fails.
-
-Run:  PYTHONPATH=src python examples/chaos_drill_demo.py
+Reports land in ``chaos_drill_output/`` as JSON, exactly as before.
 """
 
-import json
 import sys
-from pathlib import Path
 
-from repro import SimulationParameters
-from repro.apps import default_source, default_stations
-from repro.chaos import (
-    FaultPlan,
-    FaultSpec,
-    run_checkpoint_drill,
-    run_comm_drill,
-    run_service_drill,
-)
-
-OUT_DIR = Path("chaos_drill_output")
-
-
-def demo_params(**overrides):
-    defaults = dict(
-        nex_xi=4,            # coarse 6-rank mesh: drills in seconds
-        nproc_xi=1,
-        ner_crust_mantle=2,
-        ner_outer_core=1,
-        ner_inner_core=1,
-        nstep_override=10,
-    )
-    defaults.update(overrides)
-    return SimulationParameters(**defaults)
-
-
-def drop_and_crash_plan() -> FaultPlan:
-    """The CI drill plan: one lost message, one rank crash."""
-    return FaultPlan(
-        [
-            FaultSpec(kind="drop", rank=2, op="send", after_matches=3),
-            FaultSpec(kind="crash", rank=4, op="send", after_matches=5),
-        ],
-        seed=123,
-    )
-
-
-def main() -> int:
-    OUT_DIR.mkdir(exist_ok=True)
-    reports = []
-
-    for overlap in (False, True):
-        schedule = "overlapped" if overlap else "blocking"
-        print(f"== comm drill ({schedule} halo schedule) ==")
-        report = run_comm_drill(
-            demo_params(nstep_override=8),
-            drop_and_crash_plan(),
-            sources=[default_source()],
-            stations=default_stations(),
-            overlap=overlap,
-            max_attempts=4,
-            recv_timeout_s=1.0,
-        )
-        print(
-            f"   attempts={report.attempts} faults_fired={report.faults_fired}"
-            f" bit_identical={report.bit_identical} -> "
-            + ("PASS" if report.passed else "FAIL")
-        )
-        reports.append((f"comm_{schedule}", report))
-
-    print("== checkpoint drill (corrupt segment 0 of 3) ==")
-    report = run_checkpoint_drill(
-        demo_params(nstep_override=12),
-        sources=[default_source()],
-        stations=default_stations(),
-        n_segments=3,
-        corrupt_segment=0,
-    )
-    print(
-        f"   fallbacks={report.detail.get('fallbacks')}"
-        f" bit_identical={report.bit_identical} -> "
-        + ("PASS" if report.passed else "FAIL")
-    )
-    reports.append(("checkpoint", report))
-
-    print("== service drill (backend fault + corrupt cache payload) ==")
-    report = run_service_drill(
-        demo_params(nstep_override=8),
-        source={"position": [0.0, 0.0, 6171.0]},
-        inject_failures=1,
-    )
-    print(
-        f"   faults_fired={report.faults_fired}"
-        f" statuses={report.detail.get('statuses')}"
-        f" bit_identical={report.bit_identical} -> "
-        + ("PASS" if report.passed else "FAIL")
-    )
-    reports.append(("service", report))
-
-    failed = [name for name, r in reports if not r.passed]
-    for name, r in reports:
-        path = OUT_DIR / f"{name}_report.json"
-        path.write_text(json.dumps(r.to_dict(), indent=2))
-        print(f"wrote {path}")
-
-    if failed:
-        print(f"FAILED drills: {', '.join(failed)}")
-        return 1
-    print("all drills recovered with bit-identical seismograms")
-    return 0
-
+from repro.chaos.__main__ import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["drill", "all", *sys.argv[1:]]))

@@ -51,6 +51,15 @@ class JobSpec:
     :class:`~repro.obs.stream.StreamingTelemetry` ring buffer flushed to
     that JSONL path (the path lands in the job's provenance record, so
     the campaign aggregator can find it).
+
+    ``supervise = True`` routes the job through the
+    :class:`~repro.resilience.supervisor.RunSupervisor`: it runs on the
+    virtual cluster with the failure detector armed, and a rank death
+    mid-run is recovered *in-run* from per-rank checkpoints (up to
+    ``max_recoveries`` times) instead of burning a whole-job retry —
+    the recovery count lands in the job's provenance record.
+    ``fault_plan`` (a :class:`~repro.chaos.faults.FaultPlan`) injects
+    faults into a supervised job, the standing rank-death drill.
     """
 
     name: str
@@ -63,6 +72,9 @@ class JobSpec:
     max_attempts: int | None = None  # None = the pool policy's default
     inject_failures: int = 0
     stream_path: str | None = None
+    supervise: bool = False
+    fault_plan: Any = None
+    max_recoveries: int = 2
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -72,6 +84,15 @@ class JobSpec:
             raise ValueError(f"n_segments must be >= 1, got {self.n_segments}")
         if self.inject_failures < 0:
             raise ValueError("inject_failures must be >= 0")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if self.supervise and self.n_segments > 1:
+            raise ValueError(
+                "supervise runs on the distributed cluster with its own "
+                "epoch checkpointing; n_segments must be 1"
+            )
+        if self.fault_plan is not None and not self.supervise:
+            raise ValueError("fault_plan requires supervise=True")
 
 
 @dataclass

@@ -76,6 +76,10 @@ class JobRecord:
     segment_count: int = 1
     attempts: int = 1
     retries: int = 0
+    #: In-run rank-death recoveries by the resilience supervisor
+    #: (``JobSpec.supervise``); a job can succeed with ``attempts == 1``
+    #: and ``recoveries >= 1`` — recovery happened *inside* the run.
+    recoveries: int = 0
     wall_s: float = 0.0
     mesher_wall_s: float = 0.0
     solver_wall_s: float = 0.0

@@ -47,6 +47,11 @@ class JobResult:
     mesher_wall_s: float = 0.0
     solver_wall_s: float = 0.0
     error: str | None = None
+    #: In-run rank-death recoveries executed by the supervisor
+    #: (``job.supervise``); 0 for unsupervised jobs.  Distinct from
+    #: ``retries``: a recovery resumes mid-run from checkpoints, a retry
+    #: re-runs the whole job.
+    recoveries: int = 0
     #: How the final failure was classified: "transient" | "fatal" |
     #: "permanent" (None for successes).
     failure_class: str | None = None
@@ -73,6 +78,7 @@ class JobResult:
             segment_count=self.segment_count,
             attempts=self.attempts,
             retries=self.retries,
+            recoveries=self.recoveries,
             wall_s=self.wall_s,
             mesher_wall_s=self.mesher_wall_s,
             solver_wall_s=self.solver_wall_s,
@@ -86,13 +92,48 @@ class JobResult:
 
 
 def _default_runner(job: JobSpec, mesh, tracer, metrics) -> dict[str, Any]:
-    """Execute one job body: merged run, or the segmented executor.
+    """Execute one job body: merged, segmented, or supervised run.
 
     A ``job.stream_path`` turns on per-step streaming telemetry for the
     job's solver loop; the stream is flushed and closed even when the
     body raises (crash tolerance is the point of the stream), and the
     path is returned in the payload so it lands in the job record.
+
+    ``job.supervise`` routes the body through the resilience
+    :class:`~repro.resilience.supervisor.RunSupervisor` on the virtual
+    cluster: rank deaths are recovered in-run from per-rank checkpoints,
+    and the payload carries ``recoveries`` plus the full recovery
+    provenance.  Supervised jobs mesh their own world (the distributed
+    partitioner, not the shared-mesh cache), and ``stream_path`` is a
+    *directory* of per-rank streams.
     """
+    if job.supervise:
+        from ..resilience.supervisor import RecoveryPolicy, RunSupervisor
+
+        supervisor = RunSupervisor(
+            policy=RecoveryPolicy(max_recoveries=job.max_recoveries),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        supervised = supervisor.run(
+            job.params,
+            sources=job.sources,
+            stations=job.stations,
+            n_steps=job.n_steps,
+            timeout_s=job.timeout_s or 600.0,
+            fault_plan=job.fault_plan,
+            stream_dir=job.stream_path,
+        )
+        return {
+            "seismograms": supervised.result.seismograms,
+            "dt": supervised.result.dt,
+            "segment_count": 1,
+            "mesher_wall_s": 0.0,
+            "solver_wall_s": 0.0,
+            "stream_path": job.stream_path,
+            "recoveries": supervised.n_recoveries,
+            "resilience": supervised.provenance(),
+        }
     stream = None
     if job.stream_path is not None:
         from ..obs.stream import StreamingTelemetry
@@ -244,6 +285,13 @@ class WorkerPool:
             )
 
         def body() -> dict[str, Any]:
+            if job.supervise:
+                # Supervised jobs partition their own distributed world
+                # (prepare_world) — the shared single-mesh cache does not
+                # apply.
+                payload = self.runner(job, None, tracer, self.metrics)
+                payload.setdefault("cache_hit", False)
+                return payload
             mesh, hit = self.mesh_cache.get(job.params, tracer=tracer)
             payload = self.runner(job, mesh, tracer, self.metrics)
             payload.setdefault("cache_hit", hit)
@@ -302,6 +350,7 @@ class WorkerPool:
                 result.segment_count = int(payload.get("segment_count", 1))
                 result.mesher_wall_s = float(payload.get("mesher_wall_s", 0.0))
                 result.solver_wall_s = float(payload.get("solver_wall_s", 0.0))
+                result.recoveries = int(payload.get("recoveries", 0))
                 break
             result.wall_s = time.perf_counter() - t0
             tracer.add(attempts=result.attempts)

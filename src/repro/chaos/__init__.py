@@ -29,6 +29,7 @@ from .drill import (
     DrillReport,
     run_checkpoint_drill,
     run_comm_drill,
+    run_rank_death_drill,
     run_service_drill,
 )
 from .faults import (
@@ -68,6 +69,7 @@ __all__ = [
     "run_comm_drill",
     "run_checkpoint_drill",
     "run_service_drill",
+    "run_rank_death_drill",
 ]
 
 

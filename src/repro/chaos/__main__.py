@@ -1,0 +1,226 @@
+"""Unified chaos CLI: ``python -m repro.chaos drill <name>``.
+
+One entry point for every end-to-end chaos drill — the same loop CI
+runs, callable locally with one command instead of hunting for example
+scripts:
+
+.. code-block:: console
+
+    $ python -m repro.chaos drill all
+    $ python -m repro.chaos drill comm --schedule overlapped
+    $ python -m repro.chaos drill rank-death --mode shrink
+    $ python -m repro.chaos drill checkpoint --out my_reports/
+
+Each drill runs a small fixed scenario (coarse 6- or 24-rank mesh,
+seconds of wall time), prints a PASS/FAIL line, and writes its
+:class:`~repro.chaos.drill.DrillReport` JSON into the output directory
+(the artifact CI uploads on failure).  Exit status is non-zero when any
+requested drill fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..config.parameters import SimulationParameters
+from .drill import (
+    DrillReport,
+    run_checkpoint_drill,
+    run_comm_drill,
+    run_rank_death_drill,
+    run_service_drill,
+)
+from .faults import FaultPlan, FaultSpec
+
+DRILLS = ("comm", "checkpoint", "service", "rank-death")
+
+#: Halo schedules a schedule-parametrised drill can run under.
+SCHEDULES = {"blocking": (False,), "overlapped": (True,),
+             "both": (False, True)}
+#: Recovery modes the rank-death drill can run under.
+MODES = {"respawn": ("respawn",), "shrink": ("shrink",),
+         "both": ("respawn", "shrink")}
+
+
+def demo_params(**overrides) -> SimulationParameters:
+    """The drills' standard coarse mesh: 6 ranks, seconds per run."""
+    defaults = dict(
+        nex_xi=4,
+        nproc_xi=1,
+        ner_crust_mantle=2,
+        ner_outer_core=1,
+        ner_inner_core=1,
+        nstep_override=10,
+    )
+    defaults.update(overrides)
+    return SimulationParameters(**defaults)
+
+
+def drop_and_crash_plan() -> FaultPlan:
+    """The CI comm-drill plan: one lost message, one rank crash."""
+    return FaultPlan(
+        [
+            FaultSpec(kind="drop", rank=2, op="send", after_matches=3),
+            FaultSpec(kind="crash", rank=4, op="send", after_matches=5),
+        ],
+        seed=123,
+    )
+
+
+def _default_sources_stations():
+    from ..apps import default_source, default_stations
+
+    return [default_source()], default_stations()
+
+
+def _run_comm(schedules) -> list[tuple[str, DrillReport]]:
+    sources, stations = _default_sources_stations()
+    out = []
+    for overlap in schedules:
+        schedule = "overlapped" if overlap else "blocking"
+        print(f"== comm drill ({schedule} halo schedule) ==")
+        report = run_comm_drill(
+            demo_params(nstep_override=8),
+            drop_and_crash_plan(),
+            sources=sources,
+            stations=stations,
+            overlap=overlap,
+            max_attempts=4,
+            recv_timeout_s=1.0,
+        )
+        print(
+            f"   attempts={report.attempts}"
+            f" faults_fired={report.faults_fired}"
+            f" bit_identical={report.bit_identical} -> "
+            + ("PASS" if report.passed else "FAIL")
+        )
+        out.append((f"comm_{schedule}", report))
+    return out
+
+
+def _run_checkpoint(_schedules) -> list[tuple[str, DrillReport]]:
+    sources, stations = _default_sources_stations()
+    print("== checkpoint drill (corrupt segment 0 of 3) ==")
+    report = run_checkpoint_drill(
+        demo_params(nstep_override=12),
+        sources=sources,
+        stations=stations,
+        n_segments=3,
+        corrupt_segment=0,
+    )
+    print(
+        f"   fallbacks={report.detail.get('fallbacks')}"
+        f" bit_identical={report.bit_identical} -> "
+        + ("PASS" if report.passed else "FAIL")
+    )
+    return [("checkpoint", report)]
+
+
+def _run_service(_schedules) -> list[tuple[str, DrillReport]]:
+    print("== service drill (backend fault + corrupt cache payload) ==")
+    report = run_service_drill(
+        demo_params(nstep_override=8),
+        source={"position": [0.0, 0.0, 6171.0]},
+        inject_failures=1,
+    )
+    print(
+        f"   faults_fired={report.faults_fired}"
+        f" statuses={report.detail.get('statuses')}"
+        f" bit_identical={report.bit_identical} -> "
+        + ("PASS" if report.passed else "FAIL")
+    )
+    return [("service", report)]
+
+
+def _run_rank_death(schedules, modes) -> list[tuple[str, DrillReport]]:
+    sources, stations = _default_sources_stations()
+    out = []
+    for mode in modes:
+        # Shrink needs a world with somewhere to shrink *to* (24 -> 6
+        # ranks); respawn runs on the standard 6-rank mesh.
+        params = (
+            demo_params(nex_xi=8, nproc_xi=2, nstep_override=8)
+            if mode == "shrink"
+            else demo_params()
+        )
+        for overlap in schedules:
+            schedule = "overlapped" if overlap else "blocking"
+            print(f"== rank-death drill ({mode}, {schedule} schedule) ==")
+            report = run_rank_death_drill(
+                params,
+                sources=sources,
+                stations=stations,
+                crash_rank=2,
+                mode=mode,
+                overlap=overlap,
+            )
+            latency = report.detail.get("recovery_latency_s", [])
+            print(
+                f"   recoveries={report.detail.get('recoveries')}"
+                f" world_sizes={report.detail.get('world_sizes')}"
+                f" recovery_latency_s="
+                f"{[round(s, 3) for s in latency]}"
+                f" bit_identical={report.bit_identical} -> "
+                + ("PASS" if report.passed else "FAIL")
+            )
+            out.append((f"rank_death_{mode}_{schedule}", report))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="run end-to-end chaos drills",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    drill = sub.add_parser("drill", help="run one drill (or all)")
+    drill.add_argument("name", choices=DRILLS + ("all",))
+    drill.add_argument(
+        "--out",
+        default="chaos_drill_output",
+        help="directory for the DrillReport JSON artifacts",
+    )
+    drill.add_argument(
+        "--schedule",
+        choices=sorted(SCHEDULES),
+        default="both",
+        help="halo schedule(s) for schedule-parametrised drills",
+    )
+    drill.add_argument(
+        "--mode",
+        choices=sorted(MODES),
+        default="respawn",
+        help="recovery mode(s) for the rank-death drill",
+    )
+    args = parser.parse_args(argv)
+
+    schedules = SCHEDULES[args.schedule]
+    reports: list[tuple[str, DrillReport]] = []
+    if args.name in ("comm", "all"):
+        reports.extend(_run_comm(schedules))
+    if args.name in ("checkpoint", "all"):
+        reports.extend(_run_checkpoint(schedules))
+    if args.name in ("service", "all"):
+        reports.extend(_run_service(schedules))
+    if args.name in ("rank-death", "all"):
+        reports.extend(_run_rank_death(schedules, MODES[args.mode]))
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    failed = [name for name, r in reports if not r.passed]
+    for name, r in reports:
+        path = out_dir / f"{name}_report.json"
+        path.write_text(json.dumps(r.to_dict(), indent=2))
+        print(f"wrote {path}")
+    if failed:
+        print(f"FAILED drills: {', '.join(failed)}")
+        return 1
+    print("all drills recovered within their contracts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

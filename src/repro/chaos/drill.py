@@ -20,10 +20,16 @@ Three drills cover the three failure surfaces:
 * :func:`run_service_drill` — a transient backend fault plus a
   corrupted cache payload behind the serving tier, both absorbed by the
   campaign retry loop and the store's quarantine-and-recompute without
-  the client ever seeing an error.
+  the client ever seeing an error;
+* :func:`run_rank_death_drill` — a rank killed mid-epoch under the
+  :class:`~repro.resilience.supervisor.RunSupervisor`, recovered
+  *in-run* from per-rank checkpoints: respawn recovery must be
+  bit-identical, shrink recovery (state remapped onto a smaller world)
+  must match within a floating-point assembly tolerance.
 
-Both return a :class:`DrillReport` whose :meth:`~DrillReport.to_dict`
-is what the CI chaos step writes as its artifact.
+Each returns a :class:`DrillReport` whose :meth:`~DrillReport.to_dict`
+is what the CI chaos step writes as its artifact.  All four are
+runnable from the command line: ``python -m repro.chaos drill <name>``.
 """
 
 from __future__ import annotations
@@ -40,7 +46,14 @@ __all__ = [
     "run_comm_drill",
     "run_checkpoint_drill",
     "run_service_drill",
+    "run_rank_death_drill",
 ]
+
+#: Relative tolerance for shrink-recovery seismogram comparison; shrink
+#: crosses partitions where multi-owner global points can differ in the
+#: last ulps of the floating-point assembly order (see
+#: repro/resilience/remap.py), so bit-identity is not the contract.
+SHRINK_RTOL = 1e-9
 
 
 @dataclass
@@ -356,5 +369,140 @@ def run_service_drill(
         asyncio.run(_drill())
     except (ServiceError, ConfigError, OSError) as exc:
         report.errors.append(f"{type(exc).__name__}: {exc}")
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def run_rank_death_drill(
+    params,
+    sources: list | None = None,
+    stations: list | None = None,
+    n_steps: int | None = None,
+    crash_rank: int = 2,
+    crash_step: int | None = None,
+    mode: str = "respawn",
+    overlap: bool | None = None,
+    max_recoveries: int = 2,
+    recv_timeout_s: float = 5.0,
+    timeout_s: float = 300.0,
+    suspect_after_s: float = 1.0,
+    probe_interval_s: float = 0.02,
+) -> DrillReport:
+    """Kill a rank mid-epoch; the supervisor must recover *in-run*.
+
+    Runs the simulation once undisturbed (the reference), then under a
+    :class:`~repro.resilience.supervisor.RunSupervisor` with a
+    step-pinned crash injected into ``crash_rank`` (defaulting to the
+    middle of the run).  Unlike the comm drill's whole-job retry, the
+    supervisor resumes from the ranks' own mid-run checkpoints, so the
+    drill passes only if:
+
+    * exactly the planned crash fired and one recovery was executed;
+    * ``mode="respawn"``: the recovered seismograms are **bit-identical**
+      to the reference (each rank reloaded its own checkpoint on an
+      identical world — determinism is the contract);
+    * ``mode="shrink"``: the recovered world is *smaller*, and the
+      seismograms — re-keyed by station name, since ownership moved —
+      match the reference within :data:`SHRINK_RTOL` (cross-partition
+      state remap tolerates last-ulp assembly differences).
+
+    The report's ``detail`` carries the measured recovery latency and
+    the steps re-executed, the numbers quoted in EXPERIMENTS.md.
+    """
+    from ..parallel.launcher import run_distributed_simulation
+    from ..resilience import RecoveryPolicy, RunSupervisor
+    from .faults import FaultPlan, FaultSpec
+
+    t0 = time.perf_counter()
+    reference = run_distributed_simulation(
+        params,
+        sources=sources,
+        stations=stations,
+        n_steps=n_steps,
+        overlap=overlap,
+        timeout_s=timeout_s,
+    )
+    total = reference.n_steps
+    if crash_step is None:
+        crash_step = max(1, total // 2)
+    plan = FaultPlan(
+        [FaultSpec(kind="crash", rank=crash_rank, step=crash_step)]
+    )
+    report = DrillReport(
+        drill="rank-death",
+        passed=False,
+        bit_identical=False,
+        attempts=1,
+        faults_fired=0,
+        detail={
+            "mode": mode,
+            "overlap": bool(overlap),
+            "crash_rank": crash_rank,
+            "crash_step": crash_step,
+        },
+    )
+    supervisor = RunSupervisor(
+        policy=RecoveryPolicy(
+            mode=mode,
+            max_recoveries=max_recoveries,
+            suspect_after_s=suspect_after_s,
+            probe_interval_s=probe_interval_s,
+        )
+    )
+    try:
+        supervised = supervisor.run(
+            params,
+            sources=sources,
+            stations=stations,
+            n_steps=n_steps,
+            overlap=overlap,
+            timeout_s=timeout_s,
+            recv_timeout_s=recv_timeout_s,
+            fault_plan=plan,
+        )
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+        report.wall_s = time.perf_counter() - t0
+        return report
+    report.faults_fired = plan.total_fired
+    report.fault_events = list(plan.events)
+    report.detail.update(supervised.provenance())
+    if supervised.recoveries:
+        report.detail["recovery_latency_s"] = [
+            e.wall_s for e in supervised.recoveries
+        ]
+        report.detail["steps_reexecuted"] = [
+            crash_step - e.resume_step for e in supervised.recoveries
+        ]
+    names_ref = list(reference.station_names)
+    names_new = list(supervised.result.station_names)
+    if sorted(names_ref) != sorted(names_new):
+        report.errors.append(
+            f"station sets differ: {names_ref} vs {names_new}"
+        )
+        report.wall_s = time.perf_counter() - t0
+        return report
+    order = [names_new.index(n) for n in names_ref]
+    recovered = supervised.result.seismograms[order]
+    report.bit_identical = _bit_identical(reference.seismograms, recovered)
+    if mode == "respawn":
+        matched = report.bit_identical
+        report.detail["final_world_size"] = supervised.final_world_size
+    else:
+        scale = float(np.max(np.abs(reference.seismograms))) or 1.0
+        rel = float(
+            np.max(np.abs(reference.seismograms - recovered)) / scale
+        )
+        report.detail["rel_max_diff"] = rel
+        report.detail["rtol"] = SHRINK_RTOL
+        report.detail["final_world_size"] = supervised.final_world_size
+        matched = rel <= SHRINK_RTOL and (
+            supervised.final_world_size < supervised.world_sizes[0]
+        )
+    report.passed = (
+        matched
+        and plan.total_fired >= 1
+        and supervised.n_recoveries >= 1
+    )
     report.wall_s = time.perf_counter() - t0
     return report

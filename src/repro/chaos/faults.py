@@ -93,9 +93,14 @@ class FaultSpec:
         deadlines to expire).
     bit : bit index flipped by ``bitflip`` within the payload bytes;
         -1 picks a position from the plan's seeded RNG.
-    step, region : ``poison`` only — the solver step after which a NaN is
-        written into the displacement field (of ``region``, or the first
-        solid region when None).
+    step, region : solver-side triggers.  For ``poison`` (``step``
+        required) a NaN is written into the displacement field (of
+        ``region``, or the first solid region when None) after that
+        step.  A ``crash`` with ``step`` set fires through the solver
+        callback instead of the communicator: the rank raises
+        :class:`InjectedRankCrash` right after completing that step —
+        the deterministic "rank dies at step N" trigger the resilience
+        drills and the respawn-recovery property test are built on.
     """
 
     kind: str
@@ -125,8 +130,15 @@ class FaultSpec:
             raise ValueError("poison faults need a step")
 
     def matches_op(self, rank: int, op: str, tag: int, peer: int) -> bool:
-        """Does this spec match one communicator operation?"""
+        """Does this spec match one communicator operation?
+
+        Solver-side specs never match here: ``poison`` always fires via
+        the step callback, and so does a ``crash`` carrying a ``step``
+        (a step-pinned crash must not fire early on message traffic).
+        """
         if self.kind == "poison" or rank != self.rank:
+            return False
+        if self.kind == "crash" and self.step is not None:
             return False
         if self.op != "any" and self.op != op:
             return False
@@ -253,34 +265,44 @@ class FaultPlan:
     # -- solver-side faults --------------------------------------------------
 
     def solver_callback(self, rank: int = 0) -> "Callable[[int, object], None]":
-        """A ``cb(step, solver)`` applying this plan's ``poison`` faults.
+        """A ``cb(step, solver)`` applying this plan's solver-side faults.
 
-        Pass it through ``GlobalSolver.run(callbacks=[...])``; after the
-        matching step completes, a NaN is written into the displacement
-        field of the chosen region — the blow-up the
-        :class:`~repro.chaos.sentinel.HealthSentinel` must catch within
-        one check interval.
+        Pass it through ``GlobalSolver.run(callbacks=[...])`` (the
+        distributed launcher wires it in automatically whenever a plan
+        is armed).  After the matching step completes, a ``poison`` spec
+        writes a NaN into the displacement field of the chosen region —
+        the blow-up the :class:`~repro.chaos.sentinel.HealthSentinel`
+        must catch within one check interval — and a step-pinned
+        ``crash`` spec raises :class:`InjectedRankCrash`, killing the
+        rank at a deterministic step (the trigger the resilience
+        recovery drills use).
         """
 
-        def poison(step: int, solver) -> None:
+        def fire(step: int, solver) -> None:
             with self._lock:
                 due = [
                     (i, s)
                     for i, s in enumerate(self.specs)
-                    if s.kind == "poison"
+                    if s.kind in ("poison", "crash")
                     and s.rank == rank
                     and s.step == step
                     and self._fire_counts.get(i, 0) < s.max_fires
                 ]
                 for index, spec in due:
                     self._record(index, spec, step=step)
+            # Apply outside the lock: the crash raise must not wedge
+            # other ranks' concurrent plan lookups.
             for _index, spec in due:
+                if spec.kind == "crash":
+                    raise InjectedRankCrash(
+                        f"rank {rank}: injected crash after step {step}"
+                    )
                 region = spec.region
                 if region is None:
                     region = solver.solid_codes[0]
                 solver.solid[region].displ[0, 0] = np.nan
 
-        return poison
+        return fire
 
 
 class ChaosComm:

@@ -570,6 +570,83 @@ def bench_batch_throughput(quick: bool) -> dict[str, float]:
     return metrics
 
 
+@register(
+    "recovery_latency",
+    "rank-death recovery: detection-to-resume latency vs whole-job retry",
+    guards=(
+        GuardSpec("recovery_s", direction="lower", ratio=2.5),
+        GuardSpec("steps_saved_fraction", direction="higher", ratio=1.5,
+                  floor=0.2),
+        GuardSpec("detector_overhead_pct", direction="lower", ratio=2.5,
+                  ceiling=5.0),
+    ),
+)
+def bench_recovery_latency(quick: bool) -> dict[str, float]:
+    from ..chaos.faults import FaultPlan, FaultSpec
+    from ..parallel import run_distributed_simulation
+    from ..resilience import FailureDetector, RecoveryPolicy, RunSupervisor
+    from ..solver import Station
+
+    # The supervisor's economic claim: a mid-run rank death costs one
+    # recovery (checkpoint reload + re-marching the span since the last
+    # boundary), not a whole-job retry (a full re-run).  Crash shortly
+    # *after* the third quartile checkpoint — deliberately off the
+    # boundary, so the recovery really re-executes a partial span — and
+    # a retry would re-execute all n_steps.
+    n_steps = 8 if quick else 16
+    repeats = 2 if quick else 3
+    params = _small_params(n_steps=n_steps)
+    stations = [Station("POLE", (0.0, 0.0, 6371.0))]
+    crash_step = (3 * n_steps) // 4 + max(1, n_steps // 8)
+
+    def undisturbed(detector=None) -> float:
+        t0 = time.perf_counter()
+        run_distributed_simulation(
+            params, stations=stations, n_steps=n_steps,
+            failure_detector=detector,
+        )
+        return time.perf_counter() - t0
+
+    def supervised():
+        supervisor = RunSupervisor(
+            policy=RecoveryPolicy(
+                mode="respawn", n_checkpoint_segments=4,
+                backoff_s=0.0, suspect_after_s=1.0,
+                probe_interval_s=0.02,
+            )
+        )
+        return supervisor.run(
+            params, stations=stations, n_steps=n_steps,
+            recv_timeout_s=5.0,
+            fault_plan=FaultPlan(
+                [FaultSpec(kind="crash", rank=2, step=crash_step)]
+            ),
+        )
+
+    undisturbed()  # warm-up: lazy imports, allocator
+    t_plain = min(undisturbed() for _ in range(repeats))
+    t_armed = min(
+        undisturbed(FailureDetector(6)) for _ in range(repeats)
+    )
+    recovery_s = math.inf
+    steps_reexecuted = n_steps
+    for _ in range(repeats):
+        result = supervised()
+        event = result.recoveries[0]
+        recovery_s = min(recovery_s, event.wall_s)
+        steps_reexecuted = crash_step - event.resume_step
+    return {
+        "recovery_s": recovery_s,
+        # A whole-job retry re-runs every step; in-run recovery only the
+        # span since the last common checkpoint.
+        "steps_reexecuted": float(steps_reexecuted),
+        "steps_saved_fraction": 1.0 - steps_reexecuted / n_steps,
+        "retry_equivalent_s": t_plain,
+        "detector_overhead_pct": max(0.0, 100.0 * (t_armed / t_plain - 1.0)),
+        "n_steps": float(n_steps),
+    }
+
+
 # ------------------------------------------------------------ run / records
 
 

@@ -58,11 +58,12 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from . import tags
-from .errors import RankTimeoutError
+from .errors import RankDeathError, RankTimeoutError
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
     from ..analysis.sanitizer import SanitizerReport
     from ..chaos.faults import FaultPlan
+    from ..resilience.detector import FailureDetector
 
 __all__ = [
     "CommStats",
@@ -311,6 +312,7 @@ class VirtualCluster:
         recv_timeout_s: float | None = None,
         fault_plan: "FaultPlan | None" = None,
         sanitize: bool = False,
+        failure_detector: "FailureDetector | None" = None,
     ):
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -338,6 +340,19 @@ class VirtualCluster:
         #: :class:`~repro.analysis.sanitizer.SanitizerReport` of the most
         #: recent :meth:`run` (``None`` unless ``sanitize=True``).
         self.sanitizer_report: "SanitizerReport | None" = None
+        #: Optional :class:`~repro.resilience.detector.FailureDetector`.
+        #: When set, every rank's comm is wrapped in a ``MonitoredComm``
+        #: (innermost, under sanitizer and chaos) that feeds heartbeats
+        #: and turns blocked receives into death-probing waits, and the
+        #: runner confirms abnormal rank terminations to it.  When
+        #: ``None`` (the default) no wrapper exists at all — the
+        #: disabled path adds zero per-operation work.
+        self.failure_detector = failure_detector
+        if failure_detector is not None and failure_detector.size != size:
+            raise ValueError(
+                f"failure detector sized for {failure_detector.size} ranks "
+                f"cannot monitor a {size}-rank cluster"
+            )
         self._recv_timeout_s = recv_timeout_s
         self._run_timeout_s = self.DEFAULT_TIMEOUT_S
         self._mailboxes = [queue.Queue() for _ in range(size)]
@@ -457,10 +472,17 @@ class VirtualCluster:
         def runner(rank: int) -> None:
             comm = VirtualComm(self, rank)
             facade = comm
+            if self.failure_detector is not None:
+                # Innermost wrapper: probe slices stay invisible to the
+                # sanitizer, and chaos faults disturb the *monitored*
+                # stream.  Imported lazily like the other layers.
+                from ..resilience.detector import MonitoredComm
+
+                facade = MonitoredComm(facade, self.failure_detector)
             if self.sanitizer is not None:
                 from ..analysis.sanitizer import SanitizerComm
 
-                facade = SanitizerComm(comm, self.sanitizer)
+                facade = SanitizerComm(facade, self.sanitizer)
             if self.fault_plan is not None:
                 # Imported lazily: the chaos package is an optional layer
                 # on top of the comm core, not a dependency of it.
@@ -473,6 +495,18 @@ class VirtualCluster:
             # threads join, so nothing is swallowed here.
             except BaseException as exc:  # repro: disable=R5
                 errors[rank] = exc
+                if self.failure_detector is not None:
+                    if not isinstance(
+                        exc, (threading.BrokenBarrierError, RankDeathError)
+                    ):
+                        # Confirm the death (secondary failures — broken
+                        # barriers, observed peer deaths — are not deaths
+                        # of *this* rank and must not be filed as such).
+                        self.failure_detector.mark_dead(rank, exc)
+                    # Either way this rank's program is gone: peers
+                    # probing it fail fast (citing the primary death)
+                    # instead of waiting out their full recv deadline.
+                    self.failure_detector.mark_departed(rank)
                 # Break the barriers so other ranks do not hang forever.
                 self._barrier.abort()
                 self._collect_barrier.abort()
@@ -496,14 +530,27 @@ class VirtualCluster:
             # report of a disturbed run is exactly what a drill inspects.
             if self.sanitizer is not None:
                 self.sanitizer_report = self.sanitizer.finalize()
-        # Prefer the root-cause exception: barrier aborts on other ranks are
-        # secondary effects of the first real failure.  The failing rank is
+        # Prefer the root-cause exception.  Three tiers: a rank's own
+        # failure beats a peer-observed death (RankDeathError — the dead
+        # rank's exception, when present, is the real cause), which beats
+        # a broken barrier (pure secondary effect).  The failing rank is
         # attached so callers (the launcher) can wrap it in a typed error.
         real = [(r, e) for r, e in enumerate(errors) if e is not None
-                and not isinstance(e, threading.BrokenBarrierError)]
+                and not isinstance(
+                    e, (threading.BrokenBarrierError, RankDeathError)
+                )]
         if real:
             rank, exc = real[0]
             exc.failed_rank = rank
+            raise exc
+        deaths = [(r, e) for r, e in enumerate(errors)
+                  if isinstance(e, RankDeathError)]
+        if deaths:
+            # Attribute the failure to the *dead peer*, not the observer:
+            # an unresponsive (hung, never-raising) rank surfaces only
+            # through its peers' RankDeathErrors.
+            rank, exc = deaths[0]
+            exc.failed_rank = exc.rank
             raise exc
         for rank, exc in enumerate(errors):
             if exc is not None:

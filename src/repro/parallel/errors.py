@@ -11,7 +11,7 @@ backwards compatibility.
 
 from __future__ import annotations
 
-__all__ = ["RankFailedError", "RankTimeoutError"]
+__all__ = ["RankFailedError", "RankTimeoutError", "RankDeathError"]
 
 
 class RankFailedError(RuntimeError):
@@ -36,3 +36,24 @@ class RankTimeoutError(RankFailedError, TimeoutError):
     receive that outlives the cluster's per-receive deadline.  Also a
     :class:`TimeoutError` so callers matching on the builtin still work.
     """
+
+
+class RankDeathError(RankFailedError):
+    """A peer rank was *confirmed* dead while this rank waited on it.
+
+    Raised by the failure detector's :class:`~repro.resilience.detector
+    .MonitoredComm` when a blocked receive can be attributed to a peer
+    that has already crashed — as opposed to :class:`RankTimeoutError`,
+    which means the peer merely failed to answer within the deadline
+    (a straggler or a lost message).  ``rank`` is the *dead peer*, not
+    the raising rank; ``report`` carries the detector's
+    :class:`~repro.resilience.detector.RankDeathReport`.
+
+    In :meth:`~repro.parallel.comm.VirtualCluster.run`'s error triage
+    this is a *secondary* failure (like a broken barrier): the dead
+    rank's own exception is the root cause and wins.
+    """
+
+    def __init__(self, rank: int, cause: BaseException, report=None):
+        super().__init__(rank, cause)
+        self.report = report

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -34,13 +35,17 @@ from ..obs.tracer import Tracer
 from ..solver.receivers import Station
 from ..solver.solver import GlobalSolver
 from .comm import CommStats, VirtualCluster, VirtualComm
-from .errors import RankFailedError, RankTimeoutError
+from .errors import RankDeathError, RankFailedError, RankTimeoutError
 from .halo import HaloExchanger, build_halos
 
 __all__ = [
     "DistributedResult",
+    "EpochPlan",
+    "RankDeathError",
     "RankFailedError",
     "RankTimeoutError",
+    "WorldSetup",
+    "prepare_world",
     "run_distributed_simulation",
 ]
 
@@ -112,6 +117,181 @@ def _assign_stations(
     return assignment
 
 
+@dataclass
+class WorldSetup:
+    """Everything rank programs need that is derived *before* the cluster
+    starts: the partition, halos, station/source assignment, and the
+    globally agreed time step.
+
+    Built by :func:`prepare_world`.  The run supervisor
+    (:mod:`repro.resilience.supervisor`) builds one per world size and
+    reuses it across recovery epochs, so a respawn restarts the time
+    loop without re-meshing and a shrink re-partitions exactly once.
+    """
+
+    params: SimulationParameters
+    grid: SliceGrid
+    slices: list
+    halos: dict
+    splits: list | None
+    station_assignment: dict[int, list[Station]]
+    sources_of_rank: dict[int, list]
+    event_sources_of_rank: dict[int, list[list]] | None
+    nbatch: int | None
+    dt_global: float
+    overlap: bool
+
+    @property
+    def size(self) -> int:
+        return self.grid.nproc_total
+
+
+def prepare_world(
+    params: SimulationParameters,
+    sources: list | None = None,
+    stations: list[Station] | None = None,
+    overlap: bool | None = None,
+    event_sources: list[list] | None = None,
+    tracer_of: "Callable[[int], Tracer | None] | None" = None,
+) -> WorldSetup:
+    """Mesh, partition, and assign one world (see :class:`WorldSetup`).
+
+    Deterministic for fixed inputs: slice meshing, halo construction,
+    element splits, nearest-point station/source assignment, and the
+    min-allreduced time step all depend only on ``params`` and the
+    geometry — which is the foundation of the respawn bit-identity
+    argument (docs/resilience.md).
+    """
+    if event_sources is not None and sources is not None:
+        raise ValueError("pass either sources or event_sources, not both")
+    nbatch = len(event_sources) if event_sources is not None else None
+    if overlap is None:
+        overlap = params.overlap_comm
+    grid = SliceGrid(params.nproc_xi)
+    tomography = (
+        SyntheticTomography(seed=params.seed) if params.use_3d_model else None
+    )
+
+    def _tracer(rank: int):
+        return tracer_of(rank) if tracer_of is not None else None
+
+    # Mesh all slices up front (the merged-application mode of Section 4.1:
+    # mesher output stays in memory and is handed to the solver directly).
+    slices = [
+        build_slice_mesh(
+            params,
+            grid.address_of(rank),
+            tomography=tomography,
+            tracer=_tracer(rank),
+        )
+        for rank in range(grid.nproc_total)
+    ]
+    halos = build_halos(slices)
+    # Interior/boundary element classification for the overlapped schedule,
+    # precomputed per rank from the same halos the exchanger will use.
+    splits = (
+        [split_slice_elements(slices[r], halos[r]) for r in range(grid.nproc_total)]
+        if overlap
+        else None
+    )
+    station_assignment = _assign_stations(stations or [], slices)
+    # Sources must be injected by exactly one rank (the halo assembly then
+    # propagates shared-point contributions); assign like stations.
+    source_stations = [
+        Station(f"__src{i}", tuple(np.asarray(s.position)))
+        for i, s in enumerate(sources or [])
+    ]
+    source_assignment = _assign_stations(source_stations, slices)
+    sources_of_rank: dict[int, list] = {}
+    for rank, pseudo in source_assignment.items():
+        for p in pseudo:
+            index = int(p.name[5:])
+            sources_of_rank.setdefault(rank, []).append(sources[index])
+    # Batched: assign each event's sources independently (same nearest-point
+    # rule), giving every rank a B-long list of per-event source lists —
+    # empty lists for events with no source in that rank's slice.
+    event_sources_of_rank: dict[int, list[list]] | None = None
+    if event_sources is not None:
+        event_sources_of_rank = {}
+        for b, ev_srcs in enumerate(event_sources):
+            pseudo_b = [
+                Station(f"__src{i}", tuple(np.asarray(s.position)))
+                for i, s in enumerate(ev_srcs)
+            ]
+            for rank, plist in _assign_stations(pseudo_b, slices).items():
+                per_rank = event_sources_of_rank.setdefault(
+                    rank, [[] for _ in range(nbatch)]
+                )
+                for p in plist:
+                    per_rank[b].append(ev_srcs[int(p.name[5:])])
+    # Agree on the global time step before building any solver: attenuation
+    # coefficients depend on dt, so it must be fixed up front.
+    from ..mesh.quality import estimate_time_step
+    from ..solver.solver import LENGTH_SCALE
+
+    dt_global = min(
+        estimate_time_step(
+            list(sl.regions.values()),
+            courant=params.courant,
+            length_scale=LENGTH_SCALE,
+        )
+        for sl in slices
+    )
+    return WorldSetup(
+        params=params,
+        grid=grid,
+        slices=slices,
+        halos=halos,
+        splits=splits,
+        station_assignment=station_assignment,
+        sources_of_rank=sources_of_rank,
+        event_sources_of_rank=event_sources_of_rank,
+        nbatch=nbatch,
+        dt_global=dt_global,
+        overlap=overlap,
+    )
+
+
+@dataclass
+class EpochPlan:
+    """Checkpoint/restore instructions for one supervised epoch.
+
+    The run supervisor marches a run as a sequence of *epochs*: each
+    epoch starts at ``start_step`` (0 for the first), restores solver
+    state through ``restore`` (checkpoint load for respawn, remapped
+    in-memory state for shrink), saves a checkpoint through ``save``
+    whenever the time loop crosses a step in ``checkpoint_steps``, and
+    pins the time step to ``dt_pin`` so every epoch's attenuation
+    coefficients — which depend on dt — match the first world's.
+    """
+
+    start_step: int = 0
+    checkpoint_steps: tuple[int, ...] = ()
+    #: ``save(rank, solver, step)`` — called after the loop reaches
+    #: ``step`` (exclusive stop), with all state at exactly that step.
+    save: "Callable[[int, GlobalSolver, int], None] | None" = None
+    #: ``restore(rank, solver)`` — called once per rank before marching,
+    #: must leave the solver consistent with ``start_step``.
+    restore: "Callable[[int, GlobalSolver], None] | None" = None
+    dt_pin: float | None = None
+
+    def boundaries(self, total_steps: int) -> list[tuple[int, int]]:
+        """Sub-spans of [start_step, total_steps) cut at checkpoints."""
+        cuts = sorted(
+            {
+                s
+                for s in self.checkpoint_steps
+                if self.start_step < s < total_steps
+            }
+        )
+        edges = [self.start_step, *cuts, total_steps]
+        return [
+            (edges[i], edges[i + 1])
+            for i in range(len(edges) - 1)
+            if edges[i] < edges[i + 1]
+        ]
+
+
 def run_distributed_simulation(
     params: SimulationParameters,
     sources: list | None = None,
@@ -127,6 +307,9 @@ def run_distributed_simulation(
     sanitize: bool = False,
     stream_dir: str | Path | None = None,
     event_sources: list[list] | None = None,
+    failure_detector=None,
+    world: WorldSetup | None = None,
+    epoch_plan: EpochPlan | None = None,
 ) -> DistributedResult:
     """Run one simulation over 6 * NPROC_XI^2 virtual MPI ranks.
 
@@ -173,6 +356,16 @@ def run_distributed_simulation(
     ``seismograms`` gain a leading event axis (B, n_stations, n_steps, 3)
     — event slice b bit-identical to a separate run with ``sources=
     event_sources[b]``.
+
+    The three resilience hooks (all used by
+    :class:`~repro.resilience.supervisor.RunSupervisor`):
+    ``failure_detector`` (a
+    :class:`~repro.resilience.detector.FailureDetector`) arms the
+    cluster's per-rank ``MonitoredComm`` wrappers so peer deaths surface
+    as fast typed :class:`RankDeathError`\\ s; ``world`` supplies a
+    prebuilt :class:`WorldSetup` so a recovery epoch skips re-meshing;
+    ``epoch_plan`` (an :class:`EpochPlan`) makes the run start mid-loop
+    from restored state and save checkpoints at chosen steps.
     """
     import time as _time
 
@@ -183,23 +376,19 @@ def run_distributed_simulation(
             raise ValueError("pass either sources or event_sources, not both")
         if len(event_sources) == 0:
             raise ValueError("event_sources must contain at least one event")
-    nbatch = len(event_sources) if event_sources is not None else None
-    if overlap is None:
-        overlap = params.overlap_comm
 
-    grid = SliceGrid(params.nproc_xi)
-    tomography = (
-        SyntheticTomography(seed=params.seed) if params.use_3d_model else None
-    )
     # One epoch for every rank's tracer so merged timelines align.
-    epoch = _time.perf_counter() if trace else None
+    tracer_epoch = _time.perf_counter() if trace else None
+    nproc_total = (
+        world.size if world is not None else SliceGrid(params.nproc_xi).nproc_total
+    )
     tracers: list[Tracer] | None = (
-        [Tracer(pid=rank, epoch=epoch) for rank in range(grid.nproc_total)]
+        [Tracer(pid=rank, epoch=tracer_epoch) for rank in range(nproc_total)]
         if trace
         else None
     )
     metrics: list[MetricsRegistry] | None = (
-        [MetricsRegistry(rank=rank) for rank in range(grid.nproc_total)]
+        [MetricsRegistry(rank=rank) for rank in range(nproc_total)]
         if trace
         else None
     )
@@ -207,67 +396,32 @@ def run_distributed_simulation(
     def _tracer(rank: int):
         return tracers[rank] if tracers is not None else None
 
-    # Mesh all slices up front (the merged-application mode of Section 4.1:
-    # mesher output stays in memory and is handed to the solver directly).
-    slices = [
-        build_slice_mesh(
+    if world is None:
+        world = prepare_world(
             params,
-            grid.address_of(rank),
-            tomography=tomography,
-            tracer=_tracer(rank),
+            sources=sources,
+            stations=stations,
+            overlap=overlap,
+            event_sources=event_sources,
+            tracer_of=_tracer if trace else None,
         )
-        for rank in range(grid.nproc_total)
-    ]
-    halos = build_halos(slices)
-    # Interior/boundary element classification for the overlapped schedule,
-    # precomputed per rank from the same halos the exchanger will use.
-    splits = (
-        [split_slice_elements(slices[r], halos[r]) for r in range(grid.nproc_total)]
-        if overlap
-        else None
-    )
-    station_assignment = _assign_stations(stations or [], slices)
-    # Sources must be injected by exactly one rank (the halo assembly then
-    # propagates shared-point contributions); assign like stations.
-    source_stations = [
-        Station(f"__src{i}", tuple(np.asarray(s.position)))
-        for i, s in enumerate(sources or [])
-    ]
-    source_assignment = _assign_stations(source_stations, slices)
-    sources_of_rank: dict[int, list] = {}
-    for rank, pseudo in source_assignment.items():
-        for p in pseudo:
-            index = int(p.name[5:])
-            sources_of_rank.setdefault(rank, []).append(sources[index])
-    # Batched: assign each event's sources independently (same nearest-point
-    # rule), giving every rank a B-long list of per-event source lists —
-    # empty lists for events with no source in that rank's slice.
-    event_sources_of_rank: dict[int, list[list]] = {}
-    if event_sources is not None:
-        for b, ev_srcs in enumerate(event_sources):
-            pseudo_b = [
-                Station(f"__src{i}", tuple(np.asarray(s.position)))
-                for i, s in enumerate(ev_srcs)
-            ]
-            for rank, plist in _assign_stations(pseudo_b, slices).items():
-                per_rank = event_sources_of_rank.setdefault(
-                    rank, [[] for _ in range(nbatch)]
-                )
-                for p in plist:
-                    per_rank[b].append(ev_srcs[int(p.name[5:])])
-    # Agree on the global time step before building any solver: attenuation
-    # coefficients depend on dt, so it must be fixed up front.
-    from ..mesh.quality import estimate_time_step
-    from ..solver.solver import LENGTH_SCALE
-
-    dt_global = min(
-        estimate_time_step(
-            list(sl.regions.values()),
-            courant=params.courant,
-            length_scale=LENGTH_SCALE,
-        )
-        for sl in slices
-    )
+    # The world fixes partition, schedule, and batching; per-call arguments
+    # must not silently disagree with a prebuilt one.
+    overlap = world.overlap
+    nbatch = world.nbatch
+    grid = world.grid
+    slices = world.slices
+    halos = world.halos
+    splits = world.splits
+    station_assignment = world.station_assignment
+    sources_of_rank = world.sources_of_rank
+    event_sources_of_rank = world.event_sources_of_rank or {}
+    # The supervisor pins dt across recovery epochs (attenuation
+    # coefficients depend on it); an unsupervised run uses the world's
+    # min-allreduced step.
+    dt_global = world.dt_global
+    if epoch_plan is not None and epoch_plan.dt_pin is not None:
+        dt_global = epoch_plan.dt_pin
 
     def program(comm: VirtualComm):
         rank = comm.rank
@@ -333,9 +487,31 @@ def run_distributed_simulation(
         solver.dt = comm.allreduce(solver.dt, op="min")
         steps = n_steps if n_steps is not None else solver.n_steps
         steps = int(comm.allreduce(steps, op="min"))
+        # Solver-side faults (poison, crash-at-step) fire through the
+        # plan's step callback — None when no plan is armed, so the
+        # common path pays nothing.
+        run_callbacks = (
+            [fault_plan.solver_callback(rank)] if fault_plan is not None else None
+        )
         try:
-            if n_segments <= 1:
-                result = solver.run(n_steps=steps)
+            if epoch_plan is not None:
+                if epoch_plan.restore is not None:
+                    epoch_plan.restore(rank, solver)
+                checkpoint_at = set(epoch_plan.checkpoint_steps)
+                spans = epoch_plan.boundaries(steps) or [
+                    (min(epoch_plan.start_step, steps), steps)
+                ]
+                for seg_start, seg_stop in spans:
+                    result = solver.run(
+                        n_steps=steps,
+                        start_step=seg_start,
+                        stop_step=seg_stop,
+                        callbacks=run_callbacks,
+                    )
+                    if epoch_plan.save is not None and seg_stop in checkpoint_at:
+                        epoch_plan.save(rank, solver, seg_stop)
+            elif n_segments <= 1:
+                result = solver.run(n_steps=steps, callbacks=run_callbacks)
             else:
                 # Lazy import: campaign sits above parallel in the layering
                 # and imports this module, so a top-level import would be
@@ -344,7 +520,10 @@ def run_distributed_simulation(
 
                 for seg_start, seg_stop in segment_boundaries(steps, n_segments):
                     result = solver.run(
-                        n_steps=steps, start_step=seg_start, stop_step=seg_stop
+                        n_steps=steps,
+                        start_step=seg_start,
+                        stop_step=seg_stop,
+                        callbacks=run_callbacks,
                     )
         finally:
             if stream is not None:
@@ -376,6 +555,7 @@ def run_distributed_simulation(
         recv_timeout_s=recv_timeout_s,
         fault_plan=fault_plan,
         sanitize=sanitize,
+        failure_detector=failure_detector,
     )
     try:
         results = cluster.run(program, timeout=timeout_s)

@@ -17,6 +17,7 @@ from .frontend import (
     ServiceError,
     ServiceResponse,
     SimulationService,
+    TransientBackendError,
 )
 from .http import ServiceHTTPServer, http_json
 from .keys import (
@@ -34,6 +35,7 @@ from .store import SeismogramStore, StoredRun
 
 __all__ = [
     "BackendError",
+    "TransientBackendError",
     "BadRequestError",
     "ServiceError",
     "ServiceResponse",

@@ -72,6 +72,7 @@ __all__ = [
     "ServiceError",
     "BadRequestError",
     "BackendError",
+    "TransientBackendError",
     "ServiceResponse",
     "SimulationService",
 ]
@@ -83,6 +84,8 @@ _JOB_OPTION_FIELDS = (
     "max_attempts",
     "inject_failures",
     "stream_path",
+    "supervise",
+    "max_recoveries",
 )
 
 
@@ -95,7 +98,30 @@ class BadRequestError(ServiceError):
 
 
 class BackendError(ServiceError):
-    """The backend solve failed after the campaign layer's retries."""
+    """The backend solve failed after the campaign layer's retries.
+
+    ``failure_class`` carries the campaign
+    :meth:`~repro.campaign.queue.RetryPolicy.classify` verdict
+    (``"transient"`` / ``"fatal"`` / ``"permanent"``, or None when the
+    failure never went through the classifier), so the transport tier
+    can distinguish retry-worthy exhaustion from deterministic failure.
+    """
+
+    def __init__(self, message: str, failure_class: str | None = None):
+        super().__init__(message)
+        self.failure_class = failure_class
+
+
+class TransientBackendError(BackendError):
+    """The backend failed on *transient* errors only (retries exhausted).
+
+    The same request may well succeed later — the HTTP tier answers 503
+    (with Retry-After) instead of a terminal 502, so clients and load
+    balancers retry instead of giving up.
+    """
+
+    def __init__(self, message: str, failure_class: str | None = "transient"):
+        super().__init__(message, failure_class=failure_class)
 
 
 @dataclass
@@ -425,11 +451,17 @@ class SimulationService:
         )
         result = self.pool.run([job])[0]
         if not result.succeeded or result.seismograms is None:
-            raise BackendError(
+            message = (
                 f"backend solve for request {keys.key} failed after "
                 f"{result.attempts} attempt(s): {result.error} "
                 f"[{result.failure_class}]"
             )
+            # A transiently-failed job (rank timeout, lost rank, injected
+            # fault) exhausted its retry budget but is not deterministic:
+            # surface the distinction so HTTP can answer 503, not 502.
+            if result.failure_class == "transient":
+                raise TransientBackendError(message)
+            raise BackendError(message, failure_class=result.failure_class)
         return result.seismograms, result.dt
 
     # -- operator surface ---------------------------------------------------

@@ -13,9 +13,10 @@ A ``/simulate`` body is the :meth:`~repro.service.keys
 .SimulationRequest.from_spec` wire format; pass ``"include_data":
 false`` in the body to get provenance without the (large) seismogram
 payload.  Typed failures map to status codes — malformed requests to
-400, backend solve failures to 502 — and anything truly unexpected
-propagates (the asyncio task logs it) rather than being silently
-swallowed.
+400, *transient* backend exhaustion (rank timeouts, lost ranks: a retry
+may succeed) to 503 with a Retry-After header, deterministic backend
+failures to 502 — and anything truly unexpected propagates (the asyncio
+task logs it) rather than being silently swallowed.
 """
 
 from __future__ import annotations
@@ -26,7 +27,12 @@ import json
 from typing import Any
 
 from ..config.parameters import ConfigError
-from .frontend import BackendError, BadRequestError, SimulationService
+from .frontend import (
+    BackendError,
+    BadRequestError,
+    SimulationService,
+    TransientBackendError,
+)
 from .keys import SimulationRequest
 
 __all__ = ["ServiceHTTPServer", "http_json"]
@@ -40,7 +46,11 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     502: "Bad Gateway",
+    503: "Service Unavailable",
 }
+
+#: Retry-After answered with a 503 (transient backend exhaustion).
+RETRY_AFTER_S = 5
 
 #: Failure types the HTTP boundary converts to a 400 rather than a
 #: connection-killing traceback.  Deliberately a typed tuple, not a
@@ -171,10 +181,14 @@ class ServiceHTTPServer:
         self, writer: asyncio.StreamWriter, status: int, payload: Any
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        retry_after = (
+            f"Retry-After: {RETRY_AFTER_S}\r\n" if status == 503 else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: keep-alive\r\n"
             f"\r\n"
         )
@@ -197,8 +211,18 @@ class ServiceHTTPServer:
             if method == "POST" and path == "/warm":
                 return await self._warm(body)
             return 404, {"error": f"no route {method} {path}"}
+        except TransientBackendError as exc:
+            # Retry-worthy exhaustion: same request may succeed later.
+            return 503, {
+                "error": str(exc),
+                "failure_class": exc.failure_class,
+                "retry_after_s": RETRY_AFTER_S,
+            }
         except BackendError as exc:
-            return 502, {"error": str(exc)}
+            return 502, {
+                "error": str(exc),
+                "failure_class": exc.failure_class,
+            }
         except _CLIENT_ERRORS as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
 

@@ -53,8 +53,10 @@ from ..chaos.integrity import (
 __all__ = [
     "CheckpointError",
     "CheckpointCorruptionError",
+    "CheckpointManager",
     "save_checkpoint",
     "load_checkpoint",
+    "read_verified_arrays",
 ]
 
 _FORMAT_VERSION = 3
@@ -192,7 +194,16 @@ def load_checkpoint(solver, path: str | Path, tracer=None, metrics=None) -> int:
         return _load_checkpoint_body(solver, path)
 
 
-def _load_checkpoint_body(solver, path: Path) -> int:
+def read_verified_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a checkpoint's raw arrays with full integrity verification.
+
+    The solver-independent half of :func:`load_checkpoint`: header and
+    version checks plus the v3 CRC32 verification, without applying the
+    state to any solver.  This is what shrink-and-redistribute recovery
+    (:mod:`repro.resilience.remap`) uses to harvest a dead world's state
+    before any new-world solver exists.
+    """
+    path = Path(path)
     f = _read_arrays(path)
     if "version" not in f or "step" not in f:
         raise CheckpointError(f"checkpoint {path} lacks the version/step header")
@@ -221,6 +232,12 @@ def _load_checkpoint_body(solver, path: Path) -> int:
             "checksums): on-disk corruption cannot be detected",
             stacklevel=2,
         )
+    return f
+
+
+def _load_checkpoint_body(solver, path: Path) -> int:
+    f = read_verified_arrays(path)
+    version = int(f["version"])
     saved_dt = float(f["dt"])
     # Relative comparison via math.isclose: tolerates the dt == 0 edge
     # (both zero compares equal; zero vs. non-zero is rejected) instead of
@@ -325,3 +342,141 @@ def _load_checkpoint_body(solver, path: Path) -> int:
             stacklevel=2,
         )
     return int(f["step"])
+
+
+class CheckpointManager:
+    """Step-addressed checkpoint store with bounded retention.
+
+    One directory holds one solver's (or one rank's) checkpoints, named
+    ``step_<NNNNNNNN>.npz`` so the step is recoverable from a directory
+    scan alone.  ``keep=K`` bounds disk for long campaigns: after every
+    save, all but the newest K *active* checkpoints are pruned.
+
+    Corruption interacts with retention through *quarantine*, not
+    deletion: a checkpoint that fails verification during
+    :meth:`restore_latest` is renamed aside (suffix
+    ``.quarantined``) so it stops counting against ``keep`` and stops
+    being a restore candidate, while the evidence survives for
+    post-mortem.  Pruning only ever removes the *oldest* active files,
+    so walking back past a corrupt newest checkpoint always finds the
+    next-newest verified one if any exists — the prune-past-corruption
+    property the unit tests pin down.
+    """
+
+    #: Active checkpoint filename pattern (quarantined files get an
+    #: extra suffix and no longer match).
+    FILE_PREFIX = "step_"
+    FILE_SUFFIX = ".npz"
+    QUARANTINE_SUFFIX = ".quarantined"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int | None = None,
+        tracer=None,
+        metrics=None,
+    ):
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1 (or None for all), got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def path_of(self, step: int) -> Path:
+        return self.directory / f"{self.FILE_PREFIX}{int(step):08d}{self.FILE_SUFFIX}"
+
+    def steps(self) -> list[int]:
+        """Steps with an active (non-quarantined) checkpoint, ascending."""
+        if not self.directory.is_dir():
+            return []
+        out = []
+        for p in self.directory.iterdir():
+            name = p.name
+            if not (
+                name.startswith(self.FILE_PREFIX)
+                and name.endswith(self.FILE_SUFFIX)
+            ):
+                continue
+            digits = name[len(self.FILE_PREFIX):-len(self.FILE_SUFFIX)]
+            if digits.isdigit():
+                out.append(int(digits))
+        return sorted(out)
+
+    def save(self, solver, step: int) -> Path:
+        """Checkpoint ``solver`` at ``step``, then apply retention."""
+        path = save_checkpoint(
+            solver, self.path_of(step), step,
+            tracer=self.tracer, metrics=self.metrics,
+        )
+        self.prune()
+        return path
+
+    def load(self, solver, step: int) -> int:
+        """Restore ``solver`` from the checkpoint at exactly ``step``."""
+        path = self.path_of(step)
+        if not path.exists():
+            raise CheckpointError(
+                f"no checkpoint for step {step} in {self.directory}"
+            )
+        loaded = load_checkpoint(
+            solver, path, tracer=self.tracer, metrics=self.metrics
+        )
+        if loaded != int(step):
+            raise CheckpointError(
+                f"checkpoint {path} carries step {loaded}, expected {step}"
+            )
+        return loaded
+
+    def arrays(self, step: int) -> dict[str, np.ndarray]:
+        """Raw verified arrays of the checkpoint at ``step`` (no solver)."""
+        return read_verified_arrays(self.path_of(step))
+
+    def quarantine(self, step: int) -> Path | None:
+        """Move the checkpoint at ``step`` aside (evidence, not a candidate)."""
+        path = self.path_of(step)
+        if not path.exists():
+            return None
+        target = path.with_name(path.name + self.QUARANTINE_SUFFIX)
+        os.replace(path, target)
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.quarantined").add(1)
+        return target
+
+    def prune(self) -> list[int]:
+        """Delete the oldest active checkpoints beyond ``keep``; returns
+        the pruned steps."""
+        if self.keep is None:
+            return []
+        active = self.steps()
+        doomed = active[:-self.keep] if len(active) > self.keep else []
+        for step in doomed:
+            try:
+                self.path_of(step).unlink()
+            except OSError:
+                pass
+        if doomed and self.metrics is not None:
+            self.metrics.counter("checkpoint.pruned").add(len(doomed))
+        return doomed
+
+    def restore_latest(self, solver, on_reject=None) -> int | None:
+        """Restore from the newest verified checkpoint, walking back past
+        corruption.
+
+        Each checkpoint that fails to load is quarantined and reported
+        through ``on_reject(path, exc)`` before the next-newest is
+        tried.  Returns the restored step, or ``None`` when no loadable
+        checkpoint exists (the caller restarts from scratch).
+        """
+        for step in reversed(self.steps()):
+            path = self.path_of(step)
+            try:
+                return self.load(solver, step)
+            # Only corruption/unreadability walks back; a shape or dt
+            # mismatch (ValueError) means the *solver* is wrong for this
+            # store and quarantining intact files would not help.
+            except CheckpointError as exc:
+                quarantined = self.quarantine(step)
+                if on_reject is not None:
+                    on_reject(quarantined or path, exc)
+        return None
