@@ -2,11 +2,17 @@
 
 Commands
 --------
-``check PATH... [--format text|json] [--rules R1,R3] [--baseline FILE |
---no-baseline] [--report FILE]``
+``check PATH... [--format text|json|sarif] [--rules R1,R3]
+[--baseline FILE | --no-baseline] [--report FILE] [--sarif FILE]
+[--diff REF]``
     Run the rule pack; exit 1 if any unsuppressed finding remains.
     The baseline is auto-discovered (nearest ``.repro-analysis-
     baseline.json`` at or above the first path) unless overridden.
+    ``--diff REF`` restricts *reporting* to files changed since the
+    git ref (the fast PR path) while the whole-program call graph is
+    still built over every file, so interprocedural findings on a
+    changed file stay complete.  ``--sarif FILE`` writes a SARIF
+    2.1.0 log for GitHub code scanning regardless of ``--format``.
 ``rules``
     List registered rule ids and titles.
 ``explain RULE``
@@ -16,10 +22,39 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 from pathlib import Path
 
-from .static import REGISTRY, Baseline, check_paths
+from .static import REGISTRY, Baseline, check_paths, to_sarif, validate_sarif
+
+
+def _diff_files(ref: str, anchor: Path) -> set[str] | None:
+    """Files changed since ``ref``, as absolute paths (deleted excluded).
+
+    Returns None when ``anchor`` is not inside a git work tree or the
+    ref is unknown — the caller falls back to a full run, which is the
+    safe direction (over-reporting, never under-reporting).
+    """
+    probe = anchor if anchor.is_dir() else anchor.parent
+    try:
+        top = subprocess.run(
+            ["git", "-C", str(probe), "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        out = subprocess.run(
+            ["git", "-C", top, "diff", "--name-only", "--diff-filter=d",
+             ref, "--", "*.py"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        (Path(top) / line).resolve().as_posix()
+        for line in out.splitlines()
+        if line.strip()
+    }
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -30,25 +65,50 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             baseline = Baseline.discover(args.paths[0])
     rule_ids = args.rules.split(",") if args.rules else None
+    select: set[str] | None = None
+    if args.diff is not None:
+        select = _diff_files(args.diff, Path(args.paths[0]).resolve())
+        if select is None:
+            print(
+                f"warning: cannot diff against {args.diff!r} "
+                f"(not a git tree or unknown ref); checking everything",
+                file=sys.stderr,
+            )
     try:
         report = check_paths(
             [Path(p) for p in args.paths],
             baseline=baseline,
             rule_ids=rule_ids,
+            select=select,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.report:
         Path(args.report).write_text(report.to_json() + "\n")
+    if args.sarif or args.format == "sarif":
+        doc = to_sarif(report)
+        problems = validate_sarif(doc)
+        if problems:  # pragma: no cover - guards future exporter edits
+            for p in problems:
+                print(f"error: invalid SARIF produced: {p}", file=sys.stderr)
+            return 2
+        text = json.dumps(doc, indent=2, sort_keys=True)
+        if args.sarif:
+            Path(args.sarif).write_text(text + "\n")
+        if args.format == "sarif":
+            print(text)
     if args.format == "json":
         print(report.to_json())
-    else:
+    elif args.format == "text":
         for finding in report.findings:
             print(finding)
+        scope = (
+            f"{len(select)} changed file(s)" if select is not None else
+            f"{report.files_checked} file(s)"
+        )
         print(
-            f"{len(report.findings)} finding(s) in "
-            f"{report.files_checked} file(s) "
+            f"{len(report.findings)} finding(s) in {scope} "
             f"({report.suppressed} pragma-suppressed, "
             f"{report.baselined} baselined)"
         )
@@ -88,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
     check = sub.add_parser("check", help="run the rule pack over paths")
     check.add_argument("paths", nargs="+", help="files or directories")
     check.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="findings output format",
     )
     check.add_argument(
@@ -104,6 +164,15 @@ def main(argv: list[str] | None = None) -> int:
     check.add_argument(
         "--report", default=None,
         help="also write the JSON report to this file",
+    )
+    check.add_argument(
+        "--sarif", default=None,
+        help="also write a SARIF 2.1.0 log to this file",
+    )
+    check.add_argument(
+        "--diff", default=None, metavar="REF",
+        help="report only findings in files changed since this git ref "
+        "(the project index still covers everything)",
     )
     check.set_defaults(func=_cmd_check)
 

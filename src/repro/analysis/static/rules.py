@@ -11,14 +11,27 @@ from __future__ import annotations
 
 import ast
 
-from .core import FileContext, Finding, Rule, register
+from .core import (
+    COLLECTIVE_ATTRS,
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    blocking_call_reason,
+    register,
+    walk_function_body,
+)
 
 __all__ = [
+    "AsyncHygieneRule",
+    "BatchedDispatchRule",
     "BroadExceptRule",
     "DeterminismRule",
     "HotLoopAllocRule",
     "LeakedRequestRule",
     "MagicTagRule",
+    "SPMDDivergenceRule",
+    "StateLifecycleRule",
 ]
 
 
@@ -61,20 +74,23 @@ class LeakedRequestRule(Rule):
         "bit-identity failure.  An unwaited isend is legal-looking code "
         "that deadlocks on a real MPI once payloads cross the rendezvous "
         "threshold.  The rule flags requests whose result is discarded, "
-        "never used, or waited only on some control-flow paths; handles "
-        "that escape (stored, returned, passed to waitall or a helper) "
-        "are assumed managed by their new owner."
+        "never used, or waited only on some control-flow paths — "
+        "including requests that cross function boundaries: a helper "
+        "that *returns* an isend result makes its callers responsible "
+        "(a discarded call to it is a leak), and a request stashed on "
+        "``self`` must be waited somewhere in its class.  Handles that "
+        "escape into containers or other objects are assumed managed "
+        "by their new owner."
     )
     scope_dirs = ("parallel", "solver")
 
     def check(self, ctx: FileContext) -> list[Finding]:
         findings: list[Finding] = []
         for node in ast.walk(ctx.tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in ("isend", "irecv")
-            ):
+            if not isinstance(node, ast.Call):
+                continue
+            how = self._request_source(ctx, node)
+            if how is None:
                 continue
             parent = ctx.parent(node)
             if isinstance(parent, ast.Expr):
@@ -82,8 +98,8 @@ class LeakedRequestRule(Rule):
                     self.finding(
                         ctx,
                         node,
-                        f"result of {node.func.attr}() is discarded — the "
-                        f"request can never reach a wait",
+                        f"result of {how} is discarded — the request can "
+                        f"never reach a wait",
                     )
                 )
                 continue
@@ -93,14 +109,116 @@ class LeakedRequestRule(Rule):
                 and isinstance(parent.targets[0], ast.Name)
             ):
                 found = self._check_named(
-                    ctx, node, parent, parent.targets[0].id
+                    ctx, node, parent, parent.targets[0].id, how
                 )
                 if found is not None:
                     findings.append(found)
-            # Any other context (call argument, list element, attribute
-            # store, tuple unpack) hands the request to other code; the
-            # new owner is responsible and out of intra-function reach.
+                continue
+            stashed = self._self_stash_attr(ctx, node, parent)
+            if stashed is not None and not self._class_waits_attr(
+                ctx, node, stashed
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"request from {how} is stashed on self.{stashed} "
+                        f"but no method of the class ever waits "
+                        f"self.{stashed}",
+                    )
+                )
+            # Any other context (call argument, list element, non-self
+            # attribute store, tuple unpack) hands the request to other
+            # code; the new owner is responsible.
         return findings
+
+    def _request_source(self, ctx: FileContext, node: ast.Call) -> str | None:
+        """How this call produces a request, or None if it doesn't.
+
+        Either the isend/irecv primitive itself, or (via the project
+        call graph) a helper that transitively returns a request.
+        """
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ("isend", "irecv"):
+            return f"{node.func.attr}()"
+        if ctx.project is not None:
+            for qual in ctx.project.call_targets(node):
+                info = ctx.project.functions.get(qual)
+                if info is not None and info.returns_request:
+                    return f"{info.short}() (returns an isend/irecv request)"
+        return None
+
+    def _self_stash_attr(
+        self, ctx: FileContext, node: ast.Call, parent: ast.AST | None
+    ) -> str | None:
+        """The ``self.<attr>`` a request lands on, or None.
+
+        Covers ``self.req = isend(...)`` and
+        ``self.pending.append(isend(...))``.
+        """
+        if (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Attribute)
+            and isinstance(parent.targets[0].value, ast.Name)
+            and parent.targets[0].value.id == "self"
+        ):
+            return parent.targets[0].attr
+        if (
+            isinstance(parent, ast.Call)
+            and node in parent.args
+            and isinstance(parent.func, ast.Attribute)
+            and parent.func.attr == "append"
+            and isinstance(parent.func.value, ast.Attribute)
+            and isinstance(parent.func.value.value, ast.Name)
+            and parent.func.value.value.id == "self"
+        ):
+            return parent.func.value.attr
+        return None
+
+    def _class_waits_attr(
+        self, ctx: FileContext, node: ast.AST, attr: str
+    ) -> bool:
+        """Does the enclosing class wait ``self.<attr>`` anywhere?"""
+        cls: ast.AST | None = ctx.parent(node)
+        while cls is not None and not isinstance(cls, ast.ClassDef):
+            cls = ctx.parent(cls)
+        if cls is None:
+            return False
+
+        def _mentions_self_attr(tree: ast.AST) -> bool:
+            return any(
+                isinstance(sub, ast.Attribute)
+                and sub.attr == attr
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                for sub in ast.walk(tree)
+            )
+
+        for sub in ast.walk(cls):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                if "wait" not in name:
+                    continue
+                if isinstance(func, ast.Attribute) and \
+                        _mentions_self_attr(func.value):
+                    return True  # self.attr.wait() / self.attr[x].wait()
+                if any(_mentions_self_attr(arg) for arg in sub.args):
+                    return True  # waitall(self.attr)-style
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                # for r in self.attr: ... r.wait() ...
+                if _mentions_self_attr(sub.iter) and any(
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "wait"
+                    for stmt in sub.body
+                    for inner in ast.walk(stmt)
+                ):
+                    return True
+        return False
 
     def _check_named(
         self,
@@ -108,6 +226,7 @@ class LeakedRequestRule(Rule):
         call: ast.Call,
         assign: ast.Assign,
         name: str,
+        how: str,
     ) -> Finding | None:
         scope: ast.AST = ctx.enclosing_function(call) or ctx.tree
         used = False
@@ -133,15 +252,14 @@ class LeakedRequestRule(Rule):
             return self.finding(
                 ctx,
                 call,
-                f"request {name!r} from {call.func.attr}() is never "
-                f"waited on",
+                f"request {name!r} from {how} is never waited on",
             )
         if self._covered_after(ctx, assign, name):
             return None
         return self.finding(
             ctx,
             call,
-            f"request {name!r} from {call.func.attr}() is not waited on "
+            f"request {name!r} from {how} is not waited on "
             f"all control-flow paths",
         )
 
@@ -541,3 +659,400 @@ class BroadExceptRule(Rule):
         if isinstance(node, ast.Attribute):
             return [node.attr]
         return []
+
+
+@register
+class SPMDDivergenceRule(Rule):
+    """R6: no collective reachable only under a rank-dependent branch."""
+
+    id = "R6"
+    title = "rank-divergent collective"
+    rationale = (
+        "SPMD discipline is the whole contract of the paper's 62K-rank "
+        "runs: every rank must issue the same collectives and halo "
+        "posts in the same order.  A barrier/allreduce/gather (or a "
+        "halo assemble/post) guarded by a condition derived from "
+        "comm.rank executes on some ranks and not others — the ranks "
+        "that reach it wait forever for the ones that never will.  The "
+        "comm sanitizer can only catch this at runtime on the path it "
+        "happens to execute; this rule follows the rank-taint lattice "
+        "(comm.rank through assignments, returns and call arguments, "
+        "project-wide) and flags any collective — direct, or reached "
+        "through a called function — lexically under a rank-tainted "
+        "if/while.  Rank-dependent work is fine; rank-dependent "
+        "*communication schedules* are not."
+    )
+    scope_dirs = ("parallel", "solver")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._collective_reason(ctx, node)
+            if what is None:
+                continue
+            guard = self._rank_guard(ctx, node)
+            if guard is None:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"collective {what} is reachable only under a rank-"
+                    f"dependent branch (condition at line {guard.lineno}) "
+                    f"— ranks diverge and the collective deadlocks; issue "
+                    f"it unconditionally or make the condition "
+                    f"rank-uniform",
+                )
+            )
+        return findings
+
+    def _collective_reason(
+        self, ctx: FileContext, node: ast.Call
+    ) -> str | None:
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in COLLECTIVE_ATTRS:
+            return f".{node.func.attr}()"
+        if ctx.project is not None:
+            for qual in ctx.project.call_targets(node):
+                info = ctx.project.functions.get(qual)
+                if info is not None and info.collective_via:
+                    return f"{info.short}() [{info.collective_via}]"
+        return None
+
+    def _rank_guard(self, ctx: FileContext, node: ast.AST) -> ast.stmt | None:
+        """The innermost rank-tainted if/while governing ``node``."""
+        if ctx.project is None:
+            return None
+        child: ast.AST = node
+        current = ctx.parent(node)
+        while current is not None and not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            if (
+                isinstance(current, (ast.If, ast.While))
+                and child is not current.test
+                and ctx.project.expr_is_rank_tainted(ctx, current.test)
+            ):
+                return current
+            child = current
+            current = ctx.parent(current)
+        return None
+
+
+@register
+class StateLifecycleRule(ProjectRule):
+    """R7: every dynamic state array survives checkpoint AND remap."""
+
+    id = "R7"
+    title = "state array missing from checkpoint/remap lifecycle"
+    rationale = (
+        "The paper's production runs restarted from disk across "
+        "reservation windows, so checkpoint save/load and the shrink "
+        "remap must capture the *complete* dynamic state — a field "
+        "that is integrated every step but missing from one of those "
+        "three surfaces restarts as zeros and corrupts the physics "
+        "silently (no crash, wrong seismograms).  The rule re-derives "
+        "the state registry from the source of truth: the ndarray "
+        "fields of solver/fields.py dataclasses, the attenuation "
+        "memory arrays mutated by AttenuationState's update methods, "
+        "and the receiver recording buffers — then verifies each name "
+        "is referenced by checkpoint.py's save functions, its "
+        "load/read functions, and resilience/remap.py.  Adding a field "
+        "without threading it through restart is a blocking finding, "
+        "not a code review hope."
+    )
+    scope_suffixes = (
+        "solver/fields.py", "solver/checkpoint.py", "resilience/remap.py",
+    )
+
+    def check_project(self, project) -> list[Finding]:
+        fields_ctx = project.context_for_suffix("solver/fields.py")
+        if fields_ctx is None:
+            return []
+        registry = self._state_registry(project, fields_ctx)
+        if not registry:
+            return []
+        surfaces = self._surfaces(project)
+        findings: list[Finding] = []
+        for name, origin in registry:
+            for tag, sctx, nodes, verb in surfaces:
+                if any(self._covers(n, name) for n in nodes):
+                    continue
+                anchor = nodes[0] if nodes else sctx.tree
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=str(sctx.path),
+                        line=getattr(anchor, "lineno", 1),
+                        scope=f"{name}:{tag}",
+                        message=(
+                            f"dynamic state array {name!r} (declared in "
+                            f"{origin}) is never {verb} — a restart "
+                            f"would silently reset it"
+                        ),
+                    )
+                )
+        return findings
+
+    def _surfaces(self, project):
+        surfaces = []
+        ckpt = project.context_for_suffix("solver/checkpoint.py")
+        if ckpt is not None:
+            defs = [
+                n for n in ast.walk(ckpt.tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            surfaces.append((
+                "save", ckpt, [n for n in defs if "save" in n.name],
+                "captured by a checkpoint save function",
+            ))
+            surfaces.append((
+                "load", ckpt,
+                [n for n in defs
+                 if "load" in n.name or n.name.startswith("read")],
+                "restored by a checkpoint load function",
+            ))
+        remap = project.context_for_suffix("resilience/remap.py")
+        if remap is not None:
+            surfaces.append((
+                "remap", remap, [remap.tree],
+                "redistributed by the shrink remap",
+            ))
+        return surfaces
+
+    def _state_registry(
+        self, project, fields_ctx: FileContext
+    ) -> list[tuple[str, str]]:
+        registry: list[tuple[str, str]] = []
+        for stmt in fields_ctx.tree.body:
+            if not (isinstance(stmt, ast.ClassDef)
+                    and stmt.name.endswith("Field")):
+                continue
+            for sub in stmt.body:
+                if (
+                    isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Name)
+                    and self._is_ndarray_annotation(sub.annotation)
+                ):
+                    registry.append((sub.target.id, "solver/fields.py"))
+        atten = project.context_for_suffix("solver/attenuation.py")
+        if atten is not None:
+            for name in sorted(self._mutated_state_attrs(atten)):
+                registry.append((name, "solver/attenuation.py"))
+        receivers = project.context_for_suffix("solver/receivers.py")
+        if receivers is not None and any(
+            isinstance(n, ast.ClassDef) and "ReceiverSet" in n.name
+            for n in ast.walk(receivers.tree)
+        ):
+            for name in ("seis_data", "seis_step", "seis_n_steps"):
+                registry.append((name, "solver/receivers.py"))
+        return registry
+
+    def _is_ndarray_annotation(self, annotation: ast.expr) -> bool:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Attribute) and sub.attr == "ndarray":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "ndarray":
+                return True
+            if isinstance(sub, ast.Constant) and \
+                    isinstance(sub.value, str) and "ndarray" in sub.value:
+                return True
+        return False
+
+    def _mutated_state_attrs(self, atten: FileContext) -> set[str]:
+        """self.<attr> arrays an Attenuation class mutates outside init."""
+        names: set[str] = set()
+        for cls in ast.walk(atten.tree):
+            if not (isinstance(cls, ast.ClassDef)
+                    and "Attenuation" in cls.name):
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) or method.name == "__init__":
+                    continue
+                for node in ast.walk(method):
+                    target: ast.expr | None = None
+                    if isinstance(node, ast.AugAssign):
+                        target = node.target
+                    elif isinstance(node, ast.Assign) and \
+                            len(node.targets) == 1:
+                        target = node.targets[0]
+                    if isinstance(target, ast.Subscript):
+                        target = target.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        names.add(target.attr)
+        return names
+
+    def _covers(self, node: ast.AST, name: str) -> bool:
+        """Does this subtree reference the state array ``name``?
+
+        Matches the exact string, the f-string prefix form
+        (``f"{name}_{code}"`` leaves a ``"name_"`` constant), or an
+        attribute access ``.name``.
+        """
+        prefixed = name + "_"
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                if sub.value == name or sub.value == prefixed:
+                    return True
+            elif isinstance(sub, ast.Attribute) and sub.attr == name:
+                return True
+        return False
+
+
+@register
+class BatchedDispatchRule(Rule):
+    """R8: ndim dispatch must cover both batched and unbatched layouts."""
+
+    id = "R8"
+    title = "one-sided ndim dispatch"
+    rationale = (
+        "Event-batched execution (docs/batching.md) distinguishes the "
+        "batched and unbatched field layouts purely by ndim — displ is "
+        "(nglob, 3) or (B, nglob, 3), zeta is 7- or 8-dimensional.  "
+        "Every function consuming field arrays therefore dispatches on "
+        "ndim, and the sanctioned shapes are: a batched arm that ends "
+        "terminally (return/raise/continue) so the code below stays "
+        "unbatched-only, an explicit else, or a validating "
+        "`ndim != K: raise`.  An if-on-ndim that mutates state and then "
+        "falls through runs the shared tail in BOTH layouts — the "
+        "silent half-coverage bug class that appears every time a new "
+        "kernel variant is added (the ARM-SME SEM work shows variant "
+        "proliferation is where modern SEM speed lives, so this "
+        "pattern gets stress-tested constantly)."
+    )
+    scope_dirs = ("kernels", "solver")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            if not self._is_ndim_test(node.test):
+                continue
+            if node.orelse or self._terminal(node.body):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    "branch on ndim falls through to shared code — the "
+                    "tail then runs for both the batched and unbatched "
+                    "layouts; end the arm with return/raise or add an "
+                    "explicit else",
+                )
+            )
+        return findings
+
+    def _is_ndim_test(self, test: ast.expr) -> bool:
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return False
+
+        def is_ndim(e: ast.expr) -> bool:
+            return isinstance(e, ast.Attribute) and e.attr == "ndim"
+
+        def is_int(e: ast.expr) -> bool:
+            return (
+                isinstance(e, ast.Constant)
+                and isinstance(e.value, int)
+                and not isinstance(e.value, bool)
+            )
+
+        left, right = test.left, test.comparators[0]
+        return (is_ndim(left) and is_int(right)) or \
+            (is_ndim(right) and is_int(left))
+
+    def _terminal(self, body: list[ast.stmt]) -> bool:
+        last = body[-1]
+        if isinstance(last, (ast.Return, ast.Raise, ast.Continue)):
+            return True
+        if isinstance(last, ast.If):
+            return bool(
+                last.orelse
+                and self._terminal(last.body)
+                and self._terminal(last.orelse)
+            )
+        return False
+
+
+@register
+class AsyncHygieneRule(Rule):
+    """R9: no blocking calls on the event loop thread."""
+
+    id = "R9"
+    title = "blocking call in async def"
+    rationale = (
+        "The service's event loop multiplexes every client connection "
+        "on one thread; a single sync disk read (np.load of a cached "
+        "run, a manifest scan, a WorkerPool.run) inside an `async def` "
+        "freezes ALL in-flight requests for its duration — the "
+        "single-flight coalescing and p99 latency story collapse, and "
+        "under load the health checks time out.  The rule deny-lists "
+        "direct blocking primitives (time.sleep, open/np.load/np.save*, "
+        "Path read/write helpers, subprocess) inside async defs in "
+        "service/, and follows the project call graph through *sync* "
+        "callees so a blocking store.load two hops away is still "
+        "caught.  Calls routed through asyncio.to_thread or "
+        "run_in_executor run off-loop and are exempt — that is the "
+        "fix, not an escape hatch."
+    )
+    scope_dirs = ("service",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in walk_function_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if self._is_deferred(ctx, node, func):
+                    continue
+                reason = self._blocking_reason(ctx, node)
+                if reason is None:
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"blocking call on the event loop in async "
+                        f"{func.name}(): {reason}; route it through "
+                        f"asyncio.to_thread or run_in_executor",
+                    )
+                )
+        return findings
+
+    def _blocking_reason(self, ctx: FileContext, node: ast.Call) -> str | None:
+        reason = blocking_call_reason(node)
+        if reason is not None:
+            return reason
+        if ctx.project is None:
+            return None
+        for qual in ctx.project.call_targets(node):
+            info = ctx.project.functions.get(qual)
+            if info is not None and not info.is_async and \
+                    info.blocking_reason:
+                return f"{info.short}() blocks ({info.blocking_reason})"
+        return None
+
+    def _is_deferred(
+        self, ctx: FileContext, node: ast.Call, boundary: ast.AST
+    ) -> bool:
+        from .core import attr_chain, _DEFER_ATTRS
+
+        current = ctx.parent(node)
+        while current is not None and current is not boundary:
+            if isinstance(current, ast.Call):
+                chain = attr_chain(current.func)
+                if chain is not None and \
+                        chain.rsplit(".", 1)[-1] in _DEFER_ATTRS:
+                    return True
+            current = ctx.parent(current)
+        return False

@@ -1,0 +1,194 @@
+"""SARIF 2.1.0 export for analyzer reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning, VS Code's SARIF viewer and most CI result
+browsers ingest — emitting it means the analyzer's findings annotate the
+PR diff instead of living in a job log.  The exporter is dependency-free
+(plain dict construction) and :func:`validate_sarif` is a structural
+self-check against the slice of the 2.1.0 schema we emit, so the CI
+upload step cannot ship a malformed document even without ``jsonschema``
+installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .core import REGISTRY, Report, normalize_path
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Synthetic rule id used for files the analyzer could not parse.
+PARSE_RULE = {
+    "id": "parse",
+    "shortDescription": {"text": "file does not parse"},
+    "fullDescription": {
+        "text": "The analyzer could not build an AST for this file; "
+        "every other rule is blind to it until the syntax error is "
+        "fixed."
+    },
+}
+
+
+def to_sarif(report: Report, tool_version: str = "1.0.0") -> dict[str, Any]:
+    """Render a :class:`Report` as a SARIF 2.1.0 ``sarifLog`` dict."""
+    used = {f.rule for f in report.findings}
+    rules: list[dict[str, Any]] = []
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        rules.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    if "parse" in used:
+        rules.append(dict(PARSE_RULE))
+    index = {r["id"]: i for i, r in enumerate(rules)}
+
+    results: list[dict[str, Any]] = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            # SARIF uris are relative to SRCROOT; strip
+                            # the leading slash tmp-path fixtures keep.
+                            "uri": normalize_path(finding.path).lstrip("/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproAnalysisKey/v1": finding.key},
+        }
+        if finding.rule in index:
+            result["ruleIndex"] = index[finding.rule]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/analysis.md"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+                "properties": {
+                    "filesChecked": report.files_checked,
+                    "suppressed": report.suppressed,
+                    "baselined": report.baselined,
+                },
+            }
+        ],
+    }
+
+
+def validate_sarif(doc: Any) -> list[str]:
+    """Structural validation of the SARIF slice we emit.
+
+    Returns a list of problems (empty == valid).  Covers every
+    constraint the 2.1.0 schema places on the fields :func:`to_sarif`
+    produces: required members, member types, and the version literal.
+    """
+    errors: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errors.append(msg)
+        return cond
+
+    if not expect(isinstance(doc, dict), "sarifLog must be an object"):
+        return errors
+    expect(doc.get("version") == SARIF_VERSION,
+           f"version must be the literal {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not expect(isinstance(runs, list) and runs,
+                  "runs must be a non-empty array"):
+        return errors
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not expect(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if expect(isinstance(driver, dict),
+                  f"{where}.tool.driver is required"):
+            expect(isinstance(driver.get("name"), str) and driver["name"],
+                   f"{where}.tool.driver.name must be a non-empty string")
+            for j, rule in enumerate(driver.get("rules", [])):
+                rwhere = f"{where}.tool.driver.rules[{j}]"
+                if expect(isinstance(rule, dict),
+                          f"{rwhere} must be an object"):
+                    expect(isinstance(rule.get("id"), str) and rule["id"],
+                           f"{rwhere}.id must be a non-empty string")
+        results = run.get("results")
+        if not expect(isinstance(results, list),
+                      f"{where}.results must be an array"):
+            continue
+        rule_ids = {
+            r.get("id") for r in (driver or {}).get("rules", [])
+            if isinstance(r, dict)
+        }
+        for j, res in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not expect(isinstance(res, dict),
+                          f"{rwhere} must be an object"):
+                continue
+            message = res.get("message")
+            expect(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str),
+                f"{rwhere}.message.text is required",
+            )
+            if "ruleId" in res:
+                expect(res["ruleId"] in rule_ids,
+                       f"{rwhere}.ruleId {res['ruleId']!r} not declared "
+                       f"in tool.driver.rules")
+            for k, loc in enumerate(res.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{k}]"
+                phys = loc.get("physicalLocation") \
+                    if isinstance(loc, dict) else None
+                if not expect(isinstance(phys, dict),
+                              f"{lwhere}.physicalLocation is required"):
+                    continue
+                art = phys.get("artifactLocation")
+                if expect(isinstance(art, dict),
+                          f"{lwhere}...artifactLocation is required"):
+                    uri = art.get("uri")
+                    expect(isinstance(uri, str) and uri,
+                           f"{lwhere}...artifactLocation.uri must be a "
+                           f"non-empty string")
+                    expect(not str(uri).startswith("/"),
+                           f"{lwhere}...uri must be relative")
+                region = phys.get("region")
+                if region is not None and expect(
+                    isinstance(region, dict),
+                    f"{lwhere}...region must be an object",
+                ):
+                    start = region.get("startLine")
+                    expect(isinstance(start, int) and start >= 1,
+                           f"{lwhere}...region.startLine must be >= 1")
+    return errors

@@ -647,6 +647,39 @@ def bench_recovery_latency(quick: bool) -> dict[str, float]:
     }
 
 
+@register(
+    "analysis_runtime",
+    "static analyzer (R1-R9, interprocedural) full-repo wall time",
+    guards=(
+        # The analyzer is a blocking CI gate and a pre-commit habit;
+        # the whole-program pass (call graph + taint fixpoint) must
+        # stay interactive.  Hard ceiling 10 s over all of src/.
+        GuardSpec("full_repo_s", direction="lower", ratio=2.5,
+                  ceiling=10.0),
+        GuardSpec("files_per_s", direction="higher", ratio=2.5),
+    ),
+)
+def bench_analysis_runtime(quick: bool) -> dict[str, float]:
+    from ..analysis.static import REGISTRY, check_paths
+
+    src_root = Path(__file__).resolve().parents[2]
+    repeats = 1 if quick else 3
+    check_paths([src_root])  # warm-up: imports, pyc, page cache
+    best = math.inf
+    files = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        report = check_paths([src_root])
+        best = min(best, time.perf_counter() - t0)
+        files = report.files_checked
+    return {
+        "full_repo_s": best,
+        "files_checked": float(files),
+        "files_per_s": files / best if best > 0 else 0.0,
+        "rules": float(len(REGISTRY)),
+    }
+
+
 # ------------------------------------------------------------ run / records
 
 

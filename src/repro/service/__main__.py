@@ -59,11 +59,15 @@ def _parse_station(text: str) -> dict[str, Any]:
 
 async def _run_server(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry()
-    service = SimulationService(
-        store=args.store,
-        metrics=metrics,
-        n_backend_workers=args.workers,
-        allow_slicing=not args.no_slicing,
+    # Construction scans the store manifest from disk — run it off-loop
+    # so a large warm cache does not stall the fresh event loop (R9).
+    service = await asyncio.to_thread(
+        lambda: SimulationService(
+            store=args.store,
+            metrics=metrics,
+            n_backend_workers=args.workers,
+            allow_slicing=not args.no_slicing,
+        )
     )
     server = ServiceHTTPServer(
         service,

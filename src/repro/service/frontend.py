@@ -296,14 +296,18 @@ class SimulationService:
         #    through to a recompute).
         run = self.store.find_exact(keys.key)
         if run is not None:
-            data = self._load_verified(run)
+            # np.load off-loop: a multi-MB cached payload must not stall
+            # every other in-flight request for its read time (R9).
+            data = await asyncio.to_thread(self._load_verified, run)
             if data is not None:
                 self._bump("hits")
                 return self._respond(request, keys, data, run.dt, "hit")
         # 2. Superset reuse: a stored run with the same wavefield whose
         #    receivers contain (or bracket) the requested stations.
         if self.allow_slicing:
-            sliced = self._try_slice(request, keys)
+            # Candidate scan is in-memory but the winning candidate is
+            # np.load-ed and sliced — also off-loop (R9).
+            sliced = await asyncio.to_thread(self._try_slice, request, keys)
             if sliced is not None:
                 self._bump("sliced")
                 return sliced

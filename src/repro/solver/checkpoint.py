@@ -312,9 +312,20 @@ def _load_checkpoint_body(solver, path: Path) -> int:
                 f"checkpoint seismogram buffer {data.shape} does not match "
                 f"the solver's {len(rs.receivers)} receivers"
             )
-        # The restored run keeps the checkpointed recording horizon: the
-        # buffer is rebuilt at the saved length (the solver's default
-        # n_steps need not match the campaign's total).
+        # The restored run keeps the checkpointed recording horizon.
+        # ``seis_n_steps`` was written since v2 but never read back, so
+        # a truncated buffer silently passed as a shorter recording;
+        # cross-check it against the buffer's actual step extent.
+        if "seis_n_steps" in f:
+            declared = int(f["seis_n_steps"])
+            if declared != data.shape[step_axis]:
+                raise ValueError(
+                    f"checkpoint seismogram buffer carries "
+                    f"{data.shape[step_axis]} steps but declares "
+                    f"seis_n_steps={declared}; the file is inconsistent"
+                )
+        # The buffer is rebuilt at the saved length (the solver's
+        # default n_steps need not match the campaign's total).
         if data.shape[step_axis] != rs.n_steps:
             if batched:
                 from .receivers import BatchedReceiverSet
